@@ -1,0 +1,54 @@
+"""E6 — the headline averages quoted in the paper's abstract.
+
+Paper: "MIG optimization reduces the number of logic levels by 18%, on
+average, with respect to AIG optimization performed by ABC" and the
+synthesis flow "enables an average reduction of {22%, 14%, 11%} in the
+estimated {delay, area, power} metrics".
+
+This bench computes both headline numbers on a representative subset and
+prints paper-vs-measured.
+"""
+
+import pytest
+
+from repro.flows import (
+    run_optimization_experiment,
+    run_synthesis_experiment,
+    summarize_optimization,
+    summarize_synthesis,
+)
+
+from .conftest import flow_depth_effort, flow_rounds
+
+_SUBSET = ["alu4", "my_adder", "b9", "count", "misex3", "C1908", "dalu"]
+
+
+def test_headline_summary(benchmark):
+    """Compute the abstract's headline percentages on a subset of the suite."""
+
+    def run():
+        opt = summarize_optimization(
+            run_optimization_experiment(
+                _SUBSET, rounds=flow_rounds(), depth_effort=flow_depth_effort()
+            )
+        )
+        syn = summarize_synthesis(
+            run_synthesis_experiment(
+                _SUBSET, rounds=flow_rounds(), depth_effort=flow_depth_effort()
+            )
+        )
+        return opt, syn
+
+    opt, syn = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Headline results (paper → measured):")
+    print(f"  depth vs AIG       : -18.6%  → {-opt.depth_improvement_vs_aig:+.1f}%")
+    print(f"  depth vs BDD       : -23.7%  → {-opt.depth_improvement_vs_bdd:+.1f}%")
+    print(f"  synthesis delay    : -22%    → {-syn.delay_improvement:+.1f}%")
+    print(f"  synthesis area     : -14%    → {-syn.area_improvement:+.1f}%")
+    print(f"  synthesis power    : -11%    → {-syn.power_improvement:+.1f}%")
+    benchmark.extra_info["depth_vs_aig_percent"] = round(-opt.depth_improvement_vs_aig, 2)
+    benchmark.extra_info["delay_vs_best_percent"] = round(-syn.delay_improvement, 2)
+    # Shape assertions: depth and delay advantages must point the paper's way.
+    assert opt.depth_improvement_vs_aig >= 0.0
+    assert syn.delay_improvement >= 0.0

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs keep working in offline environments where the
+``wheel`` package (needed by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

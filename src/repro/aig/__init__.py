@@ -1,0 +1,17 @@
+"""AND-Inverter Graph substrate and the ABC-style baseline optimizer."""
+
+from .aig import Aig
+from .balance import balance
+from .rewrite import refactor, rewrite
+from .resyn import RESYN2_SCRIPT, ResynStats, resyn2, run_script
+
+__all__ = [
+    "Aig",
+    "balance",
+    "rewrite",
+    "refactor",
+    "resyn2",
+    "run_script",
+    "ResynStats",
+    "RESYN2_SCRIPT",
+]

@@ -1,0 +1,113 @@
+"""AIG balancing (the ``balance`` pass of the ABC-style baseline flow).
+
+Balancing re-associates maximal AND-trees so that late-arriving operands
+end up close to the root: the classic delay-oriented AIG optimization.
+The pass is rebuild-based — a new AIG is constructed bottom-up, which also
+re-applies structural hashing and constant folding along the way.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from ..core.signal import (
+    CONST_FALSE,
+    CONST_NODE,
+    CONST_TRUE,
+    is_complemented,
+    negate,
+    negate_if,
+    node_of,
+)
+from .aig import Aig
+
+__all__ = ["balance", "collect_conjuncts"]
+
+
+def collect_conjuncts(aig: Aig, signal: int, limit: int = 128) -> List[int]:
+    """Return the leaves of the maximal AND-tree rooted at ``signal``.
+
+    The tree is grown through *regular* (non-complemented) edges into AND
+    nodes; complemented edges and primary inputs terminate the expansion.
+    Duplicate leaves are removed (idempotence) and a complementary pair
+    collapses the whole conjunction to constant 0.
+    """
+    leaves: List[int] = []
+    seen = set()
+    stack = [signal]
+    while stack:
+        current = stack.pop()
+        node = node_of(current)
+        if (
+            not is_complemented(current)
+            and aig.is_and(node)
+            and len(leaves) + len(stack) < limit
+        ):
+            a, b = aig.fanins(node)
+            stack.append(a)
+            stack.append(b)
+            continue
+        if negate(current) in seen:
+            return [CONST_FALSE]
+        if current not in seen:
+            seen.add(current)
+            leaves.append(current)
+    return leaves
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a depth-balanced copy of ``aig``."""
+    result = Aig()
+    result.name = aig.name
+    mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
+    for node, name in zip(aig.pi_nodes(), aig.pi_names()):
+        mapping[node] = result.add_pi(name)
+
+    levels: Dict[int, int] = {CONST_NODE: 0}
+    for node in aig.pi_nodes():
+        levels[node_of(mapping[node])] = 0
+
+    memo: Dict[int, int] = {}
+
+    def new_level(signal: int) -> int:
+        return levels.get(node_of(signal), 0)
+
+    def build(signal: int) -> int:
+        """Map an old signal to a balanced new signal."""
+        node = node_of(signal)
+        if node in memo:
+            return negate_if(memo[node], is_complemented(signal))
+        if not aig.is_and(node):
+            mapped = mapping[node]
+            memo[node] = mapped
+            return negate_if(mapped, is_complemented(signal))
+
+        leaves = collect_conjuncts(aig, node * 2)
+        built = [build(leaf) for leaf in leaves]
+        if CONST_FALSE in built:
+            memo[node] = CONST_FALSE
+            return negate_if(CONST_FALSE, is_complemented(signal))
+        built = [s for s in built if s != CONST_TRUE] or [CONST_TRUE]
+
+        # Huffman-style combination: always merge the two earliest-arriving
+        # operands so the latest one sits closest to the root.
+        heap = [(new_level(s), index, s) for index, s in enumerate(built)]
+        heapq.heapify(heap)
+        counter = len(built)
+        while len(heap) > 1:
+            la, _, sa = heapq.heappop(heap)
+            lb, _, sb = heapq.heappop(heap)
+            merged = result.and_(sa, sb)
+            levels[node_of(merged)] = max(
+                levels.get(node_of(merged), 0), max(la, lb) + 1
+            )
+            heapq.heappush(heap, (levels[node_of(merged)], counter, merged))
+            counter += 1
+        root = heap[0][2]
+        memo[node] = root
+        return negate_if(root, is_complemented(signal))
+
+    for po, name in zip(aig.po_signals(), aig.po_names()):
+        result.add_po(build(po), name)
+    return result

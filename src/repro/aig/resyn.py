@@ -1,0 +1,88 @@
+"""The ``resyn2``-style AIG optimization script used as the paper's baseline.
+
+ABC's ``resyn2`` alternates balancing, rewriting and refactoring passes::
+
+    b; rw; rf; b; rw; rwz; b; rfz; rwz; b
+
+This module provides the equivalent driver on top of the passes available
+in this reproduction (:func:`repro.aig.balance.balance` and
+:func:`repro.aig.rewrite.rewrite` / ``refactor``), together with a small
+stats record so flows and benchmarks can report what the baseline did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from .aig import Aig
+from .balance import balance
+from .rewrite import refactor, rewrite
+
+__all__ = ["ResynStats", "resyn2", "run_script"]
+
+
+@dataclass
+class ResynStats:
+    """Summary of one baseline optimization run."""
+
+    initial_size: int
+    final_size: int
+    initial_depth: int
+    final_depth: int
+    passes: List[str]
+    runtime_s: float
+
+
+#: The default pass sequence (an abbreviation of ABC's resyn2 script).
+RESYN2_SCRIPT: Sequence[str] = (
+    "balance",
+    "rewrite",
+    "refactor",
+    "balance",
+    "rewrite",
+    "balance",
+)
+
+_PASSES: dict = {
+    "balance": balance,
+    "rewrite": rewrite,
+    "refactor": refactor,
+}
+
+
+def run_script(aig: Aig, script: Sequence[str]) -> tuple:
+    """Run a named pass sequence; returns ``(optimized_aig, stats)``."""
+    start = time.perf_counter()
+    initial_size = aig.num_gates
+    initial_depth = aig.depth()
+    current = aig
+    executed: List[str] = []
+    for name in script:
+        try:
+            pass_fn: Callable[[Aig], Aig] = _PASSES[name]
+        except KeyError as exc:
+            raise ValueError(f"unknown AIG pass {name!r}") from exc
+        candidate = pass_fn(current)
+        # Keep a pass only if it does not regress both size and depth.
+        if (candidate.num_gates, candidate.depth()) <= (
+            current.num_gates,
+            current.depth(),
+        ) or candidate.depth() < current.depth() or candidate.num_gates < current.num_gates:
+            current = candidate
+        executed.append(name)
+    stats = ResynStats(
+        initial_size=initial_size,
+        final_size=current.num_gates,
+        initial_depth=initial_depth,
+        final_depth=current.depth(),
+        passes=executed,
+        runtime_s=time.perf_counter() - start,
+    )
+    return current, stats
+
+
+def resyn2(aig: Aig) -> tuple:
+    """Run the default ``resyn2``-style script; returns ``(aig, stats)``."""
+    return run_script(aig, RESYN2_SCRIPT)

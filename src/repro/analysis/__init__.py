@@ -1,0 +1,20 @@
+"""Analysis utilities: switching activity, probabilities and quality metrics."""
+
+from .activity import (
+    estimate_activity_by_simulation,
+    node_switching_activities,
+    signal_probabilities,
+    total_switching_activity,
+)
+from .metrics import NetworkMetrics, geometric_improvement, measure_aig, measure_mig
+
+__all__ = [
+    "signal_probabilities",
+    "node_switching_activities",
+    "total_switching_activity",
+    "estimate_activity_by_simulation",
+    "NetworkMetrics",
+    "measure_mig",
+    "measure_aig",
+    "geometric_improvement",
+]

@@ -1,0 +1,6 @@
+"""Reduced-Ordered BDD substrate and the BDS-style decomposition baseline."""
+
+from .bdd import BddManager, build_output_bdds
+from .decompose import decompose_to_mig
+
+__all__ = ["BddManager", "build_output_bdds", "decompose_to_mig"]

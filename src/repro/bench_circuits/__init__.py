@@ -1,0 +1,17 @@
+"""Synthetic MCNC-like benchmark circuit generators (see DESIGN.md)."""
+
+from .suite import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    build_compression_circuit,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_benchmark",
+    "build_compression_circuit",
+]

@@ -1,0 +1,194 @@
+"""Reusable combinational building blocks for the synthetic benchmark suite.
+
+All generators in :mod:`repro.bench_circuits` are *builder-agnostic*: they
+drive any network object exposing the small construction protocol shared by
+:class:`repro.core.mig.Mig` and :class:`repro.aig.aig.Aig`
+(``add_pi`` / ``add_po`` / ``and_`` / ``or_`` / ``xor_`` / ``not_`` /
+``mux_`` / ``constant``), so the same functional benchmark can be emitted
+as a MIG or as an AIG without going through a conversion.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ripple_adder",
+    "carry_lookahead_adder",
+    "array_multiplier",
+    "alu_slice",
+    "equality_comparator",
+    "less_than_comparator",
+    "min_max_unit",
+    "parity_tree",
+    "hamming_syndrome",
+    "random_sop",
+    "substitution_box",
+]
+
+
+def ripple_adder(net, a: Sequence[int], b: Sequence[int], cin: int) -> Tuple[List[int], int]:
+    """Ripple-carry adder; returns (sum bits LSB-first, carry out)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    sums: List[int] = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        axb = net.xor_(ai, bi)
+        sums.append(net.xor_(axb, carry))
+        carry = net.or_(net.and_(ai, bi), net.and_(axb, carry))
+    return sums, carry
+
+
+def carry_lookahead_adder(
+    net, a: Sequence[int], b: Sequence[int], cin: int, block: int = 4
+) -> Tuple[List[int], int]:
+    """Block carry-lookahead adder (generate/propagate per block)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    sums: List[int] = []
+    carry = cin
+    for start in range(0, len(a), block):
+        block_a = a[start : start + block]
+        block_b = b[start : start + block]
+        generates = [net.and_(x, y) for x, y in zip(block_a, block_b)]
+        propagates = [net.xor_(x, y) for x, y in zip(block_a, block_b)]
+        carries = [carry]
+        for i in range(len(block_a)):
+            # c_{i+1} = g_i + p_i·g_{i-1} + ... + p_i···p_0·c_0 (flattened).
+            term = generates[i]
+            prefix = propagates[i]
+            for j in range(i - 1, -1, -1):
+                term = net.or_(term, net.and_(prefix, generates[j]))
+                prefix = net.and_(prefix, propagates[j])
+            term = net.or_(term, net.and_(prefix, carries[0]))
+            carries.append(term)
+        for i in range(len(block_a)):
+            sums.append(net.xor_(propagates[i], carries[i]))
+        carry = carries[-1]
+    return sums, carry
+
+
+def array_multiplier(net, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Unsigned array multiplier; returns ``len(a) + len(b)`` product bits."""
+    width = len(a) + len(b)
+    zero = net.constant(False)
+    acc: List[int] = [zero] * width
+    for j, bj in enumerate(b):
+        partial = [zero] * width
+        for i, ai in enumerate(a):
+            partial[i + j] = net.and_(ai, bj)
+        carry = zero
+        result: List[int] = []
+        for k in range(width):
+            axb = net.xor_(acc[k], partial[k])
+            result.append(net.xor_(axb, carry))
+            carry = net.or_(net.and_(acc[k], partial[k]), net.and_(axb, carry))
+        acc = result
+    return acc
+
+
+def alu_slice(net, a: Sequence[int], b: Sequence[int], op: Sequence[int]) -> List[int]:
+    """A small ALU: op selects among ADD, AND, OR, XOR (2 op bits)."""
+    add_bits, _ = ripple_adder(net, a, b, net.constant(False))
+    and_bits = [net.and_(x, y) for x, y in zip(a, b)]
+    or_bits = [net.or_(x, y) for x, y in zip(a, b)]
+    xor_bits = [net.xor_(x, y) for x, y in zip(a, b)]
+    out: List[int] = []
+    for add_b, and_b, or_b, xor_b in zip(add_bits, and_bits, or_bits, xor_bits):
+        low = net.mux_(op[0], and_b, add_b)
+        high = net.mux_(op[0], xor_b, or_b)
+        out.append(net.mux_(op[1], high, low))
+    return out
+
+
+def equality_comparator(net, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single-output equality of two buses."""
+    bits = [net.xnor_(x, y) for x, y in zip(a, b)]
+    result = bits[0]
+    for bit in bits[1:]:
+        result = net.and_(result, bit)
+    return result
+
+
+def less_than_comparator(net, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a < b`` (MSB last in the sequences)."""
+    lt = net.constant(False)
+    eq = net.constant(True)
+    for x, y in zip(reversed(list(a)), reversed(list(b))):
+        bit_lt = net.and_(net.not_(x), y)
+        lt = net.or_(lt, net.and_(eq, bit_lt))
+        eq = net.and_(eq, net.not_(net.xor_(x, y)))
+    return lt
+
+
+def min_max_unit(net, a: Sequence[int], b: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Return (min, max) of two buses, bit-selected by a comparator."""
+    a_lt_b = less_than_comparator(net, a, b)
+    minimum = [net.mux_(a_lt_b, x, y) for x, y in zip(a, b)]
+    maximum = [net.mux_(a_lt_b, y, x) for x, y in zip(a, b)]
+    return minimum, maximum
+
+
+def parity_tree(net, bits: Sequence[int]) -> int:
+    """Balanced XOR tree over ``bits``."""
+    current = list(bits)
+    if not current:
+        return net.constant(False)
+    while len(current) > 1:
+        nxt = []
+        for i in range(0, len(current) - 1, 2):
+            nxt.append(net.xor_(current[i], current[i + 1]))
+        if len(current) % 2:
+            nxt.append(current[-1])
+        current = nxt
+    return current[0]
+
+
+def hamming_syndrome(net, data: Sequence[int], taps: Sequence[Sequence[int]]) -> List[int]:
+    """Parity-check syndrome bits: each output XORs a tap subset of the data."""
+    return [parity_tree(net, [data[i] for i in tap]) for tap in taps]
+
+
+def random_sop(
+    net,
+    inputs: Sequence[int],
+    num_outputs: int,
+    num_terms: int,
+    literals_per_term: int,
+    seed: int,
+) -> List[int]:
+    """PLA-style random logic: each output is an OR of random product terms."""
+    rng = random.Random(seed)
+    terms: List[int] = []
+    for _ in range(num_terms):
+        chosen = rng.sample(range(len(inputs)), min(literals_per_term, len(inputs)))
+        product = None
+        for index in chosen:
+            literal = inputs[index]
+            if rng.random() < 0.5:
+                literal = net.not_(literal)
+            product = literal if product is None else net.and_(product, literal)
+        terms.append(product)
+    outputs: List[int] = []
+    for _ in range(num_outputs):
+        count = rng.randint(2, max(2, num_terms // 2))
+        chosen_terms = rng.sample(terms, min(count, len(terms)))
+        value = chosen_terms[0]
+        for term in chosen_terms[1:]:
+            value = net.or_(value, term)
+        outputs.append(value)
+    return outputs
+
+
+def substitution_box(net, inputs: Sequence[int], seed: int) -> List[int]:
+    """A small (4-bit) S-box built as a random SOP — the bigkey mixing block."""
+    return random_sop(
+        net,
+        inputs,
+        num_outputs=len(inputs),
+        num_terms=6,
+        literals_per_term=min(3, len(inputs)),
+        seed=seed,
+    )

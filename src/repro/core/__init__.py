@@ -1,0 +1,37 @@
+"""The paper's primary contribution: MIGs, their algebra and optimizers."""
+
+from .mig import Mig
+from .signal import (
+    CONST_FALSE,
+    CONST_TRUE,
+    is_complemented,
+    make_signal,
+    negate,
+    node_of,
+)
+from .size_opt import SizeOptStats, optimize_size
+from .depth_opt import DepthOptStats, optimize_depth
+from .activity_opt import ActivityOptStats, optimize_activity
+from .reshape import ReshapeParams, reshape
+from .generation import mig_from_truth_tables, random_aoig_mig, random_mig
+
+__all__ = [
+    "Mig",
+    "CONST_FALSE",
+    "CONST_TRUE",
+    "make_signal",
+    "node_of",
+    "negate",
+    "is_complemented",
+    "optimize_size",
+    "optimize_depth",
+    "optimize_activity",
+    "SizeOptStats",
+    "DepthOptStats",
+    "ActivityOptStats",
+    "ReshapeParams",
+    "reshape",
+    "random_mig",
+    "random_aoig_mig",
+    "mig_from_truth_tables",
+]

@@ -1,0 +1,454 @@
+"""Symbolic MIG Boolean algebra ``(B, M, ', 0, 1)``.
+
+This module implements Section III-B of the paper at the *expression*
+level: immutable majority/inverter expression trees, evaluation, and the
+primitive axioms Ω (commutativity, majority, associativity, distributivity,
+inverter propagation) together with the derived rules Ψ (relevance,
+complementary associativity, substitution) as explicit, checkable
+transformations.
+
+The graph-level optimizers in :mod:`repro.core.rules` apply the same
+identities directly on :class:`~repro.core.mig.Mig` networks; this symbolic
+layer exists so that
+
+* every axiom can be unit- and property-tested for soundness in isolation,
+* the worked examples of the paper (Fig. 1 and Fig. 2) can be reproduced
+  literally, and
+* users can experiment with the algebra interactively.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Maj",
+    "Not",
+    "maj",
+    "var",
+    "const",
+    "inv",
+    "TRUE",
+    "FALSE",
+    "evaluate",
+    "variables",
+    "truth_table",
+    "equivalent",
+    "expr_size",
+    "expr_depth",
+    "omega_commutativity",
+    "omega_majority",
+    "omega_associativity",
+    "omega_distributivity_rl",
+    "omega_distributivity_lr",
+    "omega_inverter_propagation",
+    "psi_relevance",
+    "psi_complementary_associativity",
+    "psi_substitution",
+    "replace_variable",
+    "to_string",
+    "from_aoig_and",
+    "from_aoig_or",
+]
+
+
+class Expr:
+    """Base class of all majority-algebra expressions (immutable)."""
+
+    __slots__ = ()
+
+    def __invert__(self) -> "Expr":
+        return inv(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return to_string(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named Boolean variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A Boolean constant (0 or 1)."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Complementation of a sub-expression."""
+
+    child: Expr
+
+
+@dataclass(frozen=True)
+class Maj(Expr):
+    """Three-input majority of sub-expressions."""
+
+    a: Expr
+    b: Expr
+    c: Expr
+
+    @property
+    def children(self) -> Tuple[Expr, Expr, Expr]:
+        return (self.a, self.b, self.c)
+
+
+FALSE = Const(False)
+TRUE = Const(True)
+
+
+def var(name: str) -> Var:
+    """Create a variable."""
+    return Var(name)
+
+
+def const(value: bool) -> Const:
+    """Create a constant."""
+    return TRUE if value else FALSE
+
+
+def maj(a: Expr, b: Expr, c: Expr) -> Maj:
+    """Create the majority expression ``M(a, b, c)`` (no simplification)."""
+    return Maj(a, b, c)
+
+
+def inv(e: Expr) -> Expr:
+    """Complement an expression, collapsing double negations and constants."""
+    if isinstance(e, Not):
+        return e.child
+    if isinstance(e, Const):
+        return const(not e.value)
+    return Not(e)
+
+
+def from_aoig_and(a: Expr, b: Expr) -> Maj:
+    """AND expressed in the algebra: ``M(a, b, 0)`` (Theorem 3.1)."""
+    return maj(a, b, FALSE)
+
+
+def from_aoig_or(a: Expr, b: Expr) -> Maj:
+    """OR expressed in the algebra: ``M(a, b, 1)`` (Theorem 3.1)."""
+    return maj(a, b, TRUE)
+
+
+# --------------------------------------------------------------------- #
+# Evaluation and equivalence
+# --------------------------------------------------------------------- #
+def evaluate(e: Expr, assignment: Dict[str, bool]) -> bool:
+    """Evaluate ``e`` under a variable assignment."""
+    if isinstance(e, Const):
+        return e.value
+    if isinstance(e, Var):
+        try:
+            return assignment[e.name]
+        except KeyError as exc:
+            raise KeyError(f"no value provided for variable {e.name!r}") from exc
+    if isinstance(e, Not):
+        return not evaluate(e.child, assignment)
+    if isinstance(e, Maj):
+        a = evaluate(e.a, assignment)
+        b = evaluate(e.b, assignment)
+        c = evaluate(e.c, assignment)
+        return (a and b) or (a and c) or (b and c)
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+def variables(e: Expr) -> FrozenSet[str]:
+    """Return the set of variable names appearing in ``e``."""
+    if isinstance(e, Var):
+        return frozenset({e.name})
+    if isinstance(e, Const):
+        return frozenset()
+    if isinstance(e, Not):
+        return variables(e.child)
+    if isinstance(e, Maj):
+        return variables(e.a) | variables(e.b) | variables(e.c)
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+def truth_table(e: Expr, order: Optional[Iterable[str]] = None) -> int:
+    """Return the truth table of ``e`` as an integer bit-string.
+
+    Bit ``i`` corresponds to the assignment where variable ``order[k]``
+    takes the value of bit ``k`` of ``i``.
+    """
+    names = list(order) if order is not None else sorted(variables(e))
+    table = 0
+    for i in range(1 << len(names)):
+        assignment = {name: bool((i >> k) & 1) for k, name in enumerate(names)}
+        if evaluate(e, assignment):
+            table |= 1 << i
+    return table
+
+
+def equivalent(e1: Expr, e2: Expr) -> bool:
+    """Check Boolean equivalence of two expressions (exhaustively)."""
+    names = sorted(variables(e1) | variables(e2))
+    if len(names) > 16:
+        raise ValueError("exhaustive equivalence limited to 16 variables")
+    return truth_table(e1, names) == truth_table(e2, names)
+
+
+def expr_size(e: Expr) -> int:
+    """Number of majority operators in ``e`` (the size cost model)."""
+    if isinstance(e, (Var, Const)):
+        return 0
+    if isinstance(e, Not):
+        return expr_size(e.child)
+    if isinstance(e, Maj):
+        return 1 + expr_size(e.a) + expr_size(e.b) + expr_size(e.c)
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+def expr_depth(e: Expr) -> int:
+    """Number of majority levels on the longest path (the depth cost model)."""
+    if isinstance(e, (Var, Const)):
+        return 0
+    if isinstance(e, Not):
+        return expr_depth(e.child)
+    if isinstance(e, Maj):
+        return 1 + max(expr_depth(e.a), expr_depth(e.b), expr_depth(e.c))
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+def to_string(e: Expr) -> str:
+    """Render an expression in the paper's ``M(...)`` notation."""
+    if isinstance(e, Const):
+        return "1" if e.value else "0"
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Not):
+        return to_string(e.child) + "'"
+    if isinstance(e, Maj):
+        return f"M({to_string(e.a)}, {to_string(e.b)}, {to_string(e.c)})"
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+# --------------------------------------------------------------------- #
+# Primitive axioms Ω
+# --------------------------------------------------------------------- #
+def omega_commutativity(e: Maj, permutation: Tuple[int, int, int] = (1, 0, 2)) -> Maj:
+    """Ω.C — reorder the operands of a majority node."""
+    children = e.children
+    if sorted(permutation) != [0, 1, 2]:
+        raise ValueError(f"invalid permutation {permutation}")
+    return maj(children[permutation[0]], children[permutation[1]], children[permutation[2]])
+
+
+def omega_majority(e: Maj) -> Optional[Expr]:
+    """Ω.M — ``M(x, x, z) = x`` and ``M(x, x', z) = z`` (left-to-right).
+
+    Returns the simplified expression, or ``None`` when the axiom does not
+    apply syntactically.
+    """
+    a, b, c = e.children
+    pairs = [((a, b), c), ((a, c), b), ((b, c), a)]
+    for (p, q), other in pairs:
+        if p == q:
+            return p
+        if p == inv(q):
+            return other
+    return None
+
+
+def omega_associativity(e: Maj) -> Optional[Maj]:
+    """Ω.A — ``M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))``.
+
+    The inner node must share one operand ``u`` with the outer node; ``x``
+    and ``z`` are exchanged.  Returns ``None`` if the pattern is absent.
+    """
+    outer = list(e.children)
+    for inner_pos, inner in enumerate(outer):
+        if not isinstance(inner, Maj):
+            continue
+        rest = [outer[i] for i in range(3) if i != inner_pos]
+        for u in rest:
+            if u in inner.children:
+                x = rest[0] if rest[1] == u else rest[1]
+                inner_rest = [child for child in inner.children if child != u]
+                if len(inner_rest) != 2:
+                    # ``u`` appears twice in the inner node; Ω.M applies instead.
+                    continue
+                y, z = inner_rest
+                return maj(z, u, maj(y, u, x))
+    return None
+
+
+def omega_distributivity_rl(e: Maj) -> Optional[Maj]:
+    """Ω.D evaluated right-to-left.
+
+    ``M(M(x, y, u), M(x, y, v), z) = M(x, y, M(u, v, z))`` — the direction
+    that *removes* one majority operator (used for size optimization).
+    """
+    children = list(e.children)
+    for i, j in itertools.combinations(range(3), 2):
+        first, second = children[i], children[j]
+        if not (isinstance(first, Maj) and isinstance(second, Maj)):
+            continue
+        z = children[3 - i - j]
+        common = _shared_pair(first, second)
+        if common is None:
+            continue
+        (x, y), u, v = common
+        return maj(x, y, maj(u, v, z))
+    return None
+
+
+def omega_distributivity_lr(e: Maj) -> Optional[Maj]:
+    """Ω.D evaluated left-to-right.
+
+    ``M(x, y, M(u, v, z)) = M(M(x, y, u), M(x, y, v), z)`` — the direction
+    that *duplicates* logic but can push a late-arriving operand ``z`` one
+    level closer to the output (used for depth optimization).
+    """
+    children = list(e.children)
+    for inner_pos, inner in enumerate(children):
+        if not isinstance(inner, Maj):
+            continue
+        x, y = [children[i] for i in range(3) if i != inner_pos]
+        u, v, z = inner.children
+        return maj(maj(x, y, u), maj(x, y, v), z)
+    return None
+
+
+def omega_inverter_propagation(e: Expr) -> Expr:
+    """Ω.I — ``M'(x, y, z) = M(x', y', z')`` (push an inverter through)."""
+    if isinstance(e, Not) and isinstance(e.child, Maj):
+        inner = e.child
+        return maj(inv(inner.a), inv(inner.b), inv(inner.c))
+    if isinstance(e, Maj):
+        return inv(maj(inv(e.a), inv(e.b), inv(e.c)))
+    raise ValueError("Ω.I applies to a complemented majority or a majority")
+
+
+# --------------------------------------------------------------------- #
+# Derived rules Ψ
+# --------------------------------------------------------------------- #
+def replace_variable(e: Expr, name: str, replacement: Expr) -> Expr:
+    """Return ``e`` with every occurrence of variable ``name`` replaced."""
+    if isinstance(e, Var):
+        return replacement if e.name == name else e
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, Not):
+        return inv(replace_variable(e.child, name, replacement))
+    if isinstance(e, Maj):
+        return maj(
+            replace_variable(e.a, name, replacement),
+            replace_variable(e.b, name, replacement),
+            replace_variable(e.c, name, replacement),
+        )
+    raise TypeError(f"unknown expression type: {type(e)!r}")
+
+
+def psi_relevance(e: Maj, x_pos: int = 0, y_pos: int = 1) -> Optional[Maj]:
+    """Ψ.R — ``M(x, y, z) = M(x, y, z_{x/y'})``.
+
+    Inside ``z`` the operand ``x`` only matters when ``x = y'`` (axiom Ω.M),
+    so ``x`` may be replaced by ``y'`` there.  The operand at ``x_pos`` must
+    be a plain or complemented variable so that the substitution is well
+    defined: for ``x = v`` the variable ``v`` becomes ``y'``; for ``x = v'``
+    it becomes ``y`` (this is the form used in the Fig. 2(a) walkthrough).
+    """
+    children = list(e.children)
+    z_pos = 3 - x_pos - y_pos
+    x, y, z = children[x_pos], children[y_pos], children[z_pos]
+    if isinstance(x, Var):
+        name, replacement = x.name, inv(y)
+    elif isinstance(x, Not) and isinstance(x.child, Var):
+        name, replacement = x.child.name, y
+    else:
+        return None
+    new_z = replace_variable(z, name, replacement)
+    result = [None, None, None]
+    result[x_pos], result[y_pos], result[z_pos] = x, y, new_z
+    return maj(*result)
+
+
+def psi_complementary_associativity(e: Maj) -> Optional[Maj]:
+    """Ψ.C — ``M(x, u, M(y, u', z)) = M(x, u, M(y, x, z))``."""
+    children = list(e.children)
+    for inner_pos, inner in enumerate(children):
+        if not isinstance(inner, Maj):
+            continue
+        rest = [children[i] for i in range(3) if i != inner_pos]
+        for u_index, u in enumerate(rest):
+            u_compl = inv(u)
+            if u_compl in inner.children:
+                x = rest[1 - u_index]
+                inner_children = list(inner.children)
+                idx = inner_children.index(u_compl)
+                inner_children[idx] = x
+                result = [None, None, None]
+                positions = [i for i in range(3) if i != inner_pos]
+                result[positions[1 - u_index]] = x
+                result[positions[u_index]] = u
+                result[inner_pos] = maj(*inner_children)
+                return maj(*result)
+    return None
+
+
+def psi_substitution(e: Maj, v_name: str, u: Expr) -> Maj:
+    """Ψ.S — variable substitution.
+
+    ``M(x,y,z) = M(v, M(v', M_{v/u}(x,y,z), u), M(v', M_{v/u'}(x,y,z), u'))``
+
+    ``v_name`` must appear in ``e``; ``u`` is an arbitrary expression that
+    does not depend on ``v``.  The rule temporarily inflates the expression
+    (as discussed in Section IV-A) but exposes new simplification
+    opportunities.
+    """
+    if v_name not in variables(e):
+        raise ValueError(f"variable {v_name!r} does not occur in the expression")
+    if v_name in variables(u):
+        raise ValueError("the replacement expression must not depend on v")
+    v = var(v_name)
+    k_v_u = replace_variable(e, v_name, u)
+    k_v_not_u = replace_variable(e, v_name, inv(u))
+    return maj(
+        v,
+        maj(inv(v), k_v_u, u),
+        maj(inv(v), k_v_not_u, inv(u)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+def _shared_pair(
+    first: Maj, second: Maj
+) -> Optional[Tuple[Tuple[Expr, Expr], Expr, Expr]]:
+    """Find two operands shared by two majority expressions.
+
+    Returns ``((x, y), u, v)`` where ``x, y`` are shared and ``u``/``v`` are
+    the remaining operands of ``first``/``second`` respectively, or ``None``
+    when fewer than two operands are shared.
+    """
+    first_children = list(first.children)
+    second_children = list(second.children)
+    shared = []
+    second_pool = list(second_children)
+    for child in first_children:
+        if child in second_pool:
+            shared.append(child)
+            second_pool.remove(child)
+    if len(shared) < 2:
+        return None
+    x, y = shared[0], shared[1]
+    first_rest = list(first_children)
+    first_rest.remove(x)
+    first_rest.remove(y)
+    second_rest = list(second_children)
+    second_rest.remove(x)
+    second_rest.remove(y)
+    return (x, y), first_rest[0], second_rest[0]

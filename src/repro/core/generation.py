@@ -1,0 +1,127 @@
+"""Random and structured MIG generation helpers.
+
+Used by the test-suite (equivalence-preservation property tests need many
+diverse networks), by the examples, and by the synthetic benchmark suite in
+:mod:`repro.bench_circuits` as a building block for "random logic" blocks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .mig import Mig
+from .signal import negate
+
+__all__ = ["random_mig", "random_aoig_mig", "mig_from_truth_tables"]
+
+
+def random_mig(
+    num_pis: int,
+    num_gates: int,
+    num_pos: Optional[int] = None,
+    seed: int = 1,
+    complemented_edge_probability: float = 0.3,
+) -> Mig:
+    """Generate a pseudo-random MIG with roughly ``num_gates`` majority nodes.
+
+    Gates pick three distinct already-existing signals as fanins (so the
+    result is a DAG by construction) and edges are complemented with the
+    given probability.  Because structural hashing and Ω.M folding run at
+    creation time, the actual gate count can be slightly lower than
+    requested.
+    """
+    if num_pis < 3:
+        raise ValueError("random_mig needs at least 3 primary inputs")
+    rng = random.Random(seed)
+    mig = Mig()
+    mig.name = f"random_{num_pis}_{num_gates}_{seed}"
+    signals: List[int] = [mig.add_pi(f"x{i}") for i in range(num_pis)]
+
+    for _ in range(num_gates):
+        a, b, c = rng.sample(signals, 3)
+        if rng.random() < complemented_edge_probability:
+            a = negate(a)
+        if rng.random() < complemented_edge_probability:
+            b = negate(b)
+        new = mig.maj(a, b, c)
+        signals.append(new)
+
+    gate_signals = signals[num_pis:]
+    if not gate_signals:
+        gate_signals = signals
+    if num_pos is None:
+        num_pos = max(1, len(gate_signals) // 8)
+    # Prefer signals late in the construction so outputs see deep logic.
+    chosen = gate_signals[-num_pos:]
+    for index, sig in enumerate(chosen):
+        mig.add_po(sig, f"y{index}")
+    return mig
+
+
+def random_aoig_mig(
+    num_pis: int,
+    num_gates: int,
+    num_pos: Optional[int] = None,
+    seed: int = 1,
+) -> Mig:
+    """Generate a random AND/OR/INV network encoded as a MIG.
+
+    Every gate is either ``AND`` or ``OR`` (a majority node with one constant
+    fanin), which mimics the "MIG obtained by transposing an AOIG" starting
+    point used throughout the paper's examples.
+    """
+    if num_pis < 2:
+        raise ValueError("random_aoig_mig needs at least 2 primary inputs")
+    rng = random.Random(seed)
+    mig = Mig()
+    mig.name = f"random_aoig_{num_pis}_{num_gates}_{seed}"
+    signals: List[int] = [mig.add_pi(f"x{i}") for i in range(num_pis)]
+
+    for _ in range(num_gates):
+        a, b = rng.sample(signals, 2)
+        if rng.random() < 0.3:
+            a = negate(a)
+        if rng.random() < 0.3:
+            b = negate(b)
+        new = mig.and_(a, b) if rng.random() < 0.5 else mig.or_(a, b)
+        signals.append(new)
+
+    gate_signals = signals[num_pis:] or signals
+    if num_pos is None:
+        num_pos = max(1, len(gate_signals) // 8)
+    for index, sig in enumerate(gate_signals[-num_pos:]):
+        mig.add_po(sig, f"y{index}")
+    return mig
+
+
+def mig_from_truth_tables(truth_tables: Sequence[int], num_vars: int) -> Mig:
+    """Build a MIG from explicit truth tables (Shannon decomposition).
+
+    Mostly used in tests to create MIGs with known functions; the resulting
+    structure is a (non-optimized) multiplexer tree, a good stress input for
+    the optimizers.
+    """
+    mig = Mig()
+    mig.name = f"tt_{num_vars}vars"
+    pis = [mig.add_pi(f"x{i}") for i in range(num_vars)]
+
+    def build(table: int, var_index: int, num_bits: int) -> int:
+        if num_bits == 1:
+            return mig.constant(bool(table & 1))
+        half = num_bits // 2
+        low_mask = (1 << half) - 1
+        low = table & low_mask
+        high = (table >> half) & low_mask
+        if low == high:
+            return build(low, var_index + 1, half)
+        t_high = build(high, var_index + 1, half)
+        t_low = build(low, var_index + 1, half)
+        # Variable ordering: bit k of the assignment index is variable k, so
+        # the *most significant* half corresponds to the last variable.
+        sel = pis[num_vars - 1 - var_index]
+        return mig.mux_(sel, t_high, t_low)
+
+    for index, table in enumerate(truth_tables):
+        mig.add_po(build(table, 0, 1 << num_vars), f"y{index}")
+    return mig

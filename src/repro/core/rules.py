@@ -1,0 +1,522 @@
+"""Graph-level application of the Ω / Ψ transformation rules on a MIG.
+
+Each function in this module inspects one majority node of a
+:class:`~repro.core.mig.Mig`, checks whether one of the paper's
+transformations applies, builds the rewritten cone with
+:meth:`~repro.core.mig.Mig.maj` (so structural hashing and the Ω.M
+simplifications are re-applied automatically) and redirects the fanouts via
+:meth:`~repro.core.mig.Mig.substitute`.
+
+Complemented fanin edges are handled through the Ω.I axiom: an edge
+``M'(a, b, c)`` is treated as ``M(a', b', c')`` when a rule needs to look
+*through* it, which is exactly the inverter-propagation identity of the
+paper.
+
+The functions return ``True`` when a rewrite was performed.  Rewrites that
+are attempted but rejected (no benefit) may leave dangling nodes behind;
+callers run :meth:`~repro.core.mig.Mig.cleanup` once per optimization pass
+to reclaim them, exactly like the "elimination" step of Algorithms 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .mig import Mig
+from .signal import is_complemented, negate, negate_if, node_of
+
+__all__ = [
+    "effective_fanins",
+    "cone_nodes",
+    "cone_size",
+    "rebuild_cone",
+    "try_distributivity_rl",
+    "try_distributivity_lr",
+    "try_associativity",
+    "try_associativity_reshape",
+    "try_complementary_associativity",
+    "try_relevance",
+    "try_substitution",
+    "sweep_majority",
+]
+
+#: Default bound on the number of gates of a reconvergent cone inspected by
+#: the Ψ.R / Ψ.S rules.  Larger values find more rewrites but cost more time.
+DEFAULT_CONE_BOUND = 48
+
+
+# --------------------------------------------------------------------- #
+# Structural helpers
+# --------------------------------------------------------------------- #
+def effective_fanins(mig: Mig, edge: int) -> Optional[Tuple[int, int, int]]:
+    """Return the fanins of the majority node behind ``edge``.
+
+    If the edge is complemented the fanins are complemented as well
+    (axiom Ω.I), so the returned triple always satisfies
+    ``edge ≡ M(returned fanins)``.  Returns ``None`` when the edge does not
+    point at a majority gate.
+    """
+    node = node_of(edge)
+    if not mig.is_maj(node):
+        return None
+    fanins = mig.fanins(node)
+    if is_complemented(edge):
+        return tuple(negate(f) for f in fanins)
+    return fanins
+
+
+def cone_nodes(mig: Mig, root: int, bound: int) -> Optional[List[int]]:
+    """Gate nodes in the transitive fanin cone of signal ``root``.
+
+    The result is in topological order (fanins first).  Returns ``None``
+    when the cone contains more than ``bound`` gates.
+    """
+    root_node = node_of(root)
+    if not mig.is_maj(root_node):
+        return []
+    order: List[int] = []
+    visited = set()
+    stack: List[Tuple[int, bool]] = [(root_node, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            if len(order) > bound:
+                return None
+            continue
+        if node in visited:
+            continue
+        visited.add(node)
+        stack.append((node, True))
+        for f in mig.fanins(node):
+            fn = node_of(f)
+            if mig.is_maj(fn) and fn not in visited:
+                stack.append((fn, False))
+    return order
+
+
+def cone_size(mig: Mig, root: int, bound: int = 10_000) -> int:
+    """Number of gates in the cone of ``root`` (up to ``bound``)."""
+    nodes = cone_nodes(mig, root, bound)
+    return len(nodes) if nodes is not None else bound
+
+
+def rebuild_cone(
+    mig: Mig,
+    root: int,
+    replacements: Dict[int, int],
+    bound: int = DEFAULT_CONE_BOUND,
+) -> Optional[int]:
+    """Rebuild the cone of ``root`` applying a node→signal replacement map.
+
+    ``replacements`` maps a node index to the signal that its *regular*
+    output should become.  Every gate of the cone is re-expressed through
+    :meth:`Mig.maj`, so simplifications propagate.  Returns the new signal
+    for ``root`` or ``None`` when the cone exceeds ``bound`` gates.
+    """
+    nodes = cone_nodes(mig, root, bound)
+    if nodes is None:
+        return None
+    mapping: Dict[int, int] = dict(replacements)
+
+    def mapped(signal: int) -> int:
+        node = node_of(signal)
+        if node in mapping:
+            return negate_if(mapping[node], is_complemented(signal))
+        return signal
+
+    for node in nodes:
+        if node in mapping:
+            continue
+        a, b, c = mig.fanins(node)
+        mapping[node] = mig.maj(mapped(a), mapped(b), mapped(c))
+    return mapped(root)
+
+
+def _level_of(levels: Sequence[int], signal: int) -> int:
+    node = node_of(signal)
+    if node < len(levels):
+        return levels[node]
+    # Node created after the level snapshot was taken: treat it as deep so
+    # depth-driven decisions stay conservative (function is never affected).
+    return len(levels)
+
+
+# --------------------------------------------------------------------- #
+# Ω.M sweep
+# --------------------------------------------------------------------- #
+def sweep_majority(mig: Mig) -> int:
+    """Apply Ω.M left-to-right over the whole network.
+
+    Node creation already performs these simplifications, but in-place
+    fanin updates during substitution can occasionally leave a node whose
+    stored triple became reducible.  Returns the number of nodes removed.
+    """
+    removed = 0
+    for node in list(mig.gates()):
+        if mig.is_dead(node):
+            continue
+        a, b, c = mig.fanins(node)
+        replacement = None
+        if a == b or a == c:
+            replacement = a
+        elif b == c:
+            replacement = b
+        elif a == negate(b):
+            replacement = c
+        elif a == negate(c):
+            replacement = b
+        elif b == negate(c):
+            replacement = a
+        if replacement is not None and mig.substitute(node, replacement):
+            removed += 1
+    return removed
+
+
+# --------------------------------------------------------------------- #
+# Ω.D — distributivity
+# --------------------------------------------------------------------- #
+def try_distributivity_rl(mig: Mig, node: int) -> bool:
+    """Ω.D right-to-left: ``M(M(x,y,u), M(x,y,v), z) = M(x, y, M(u,v,z))``.
+
+    Removes one node when the two children that share two fanins are not
+    referenced elsewhere.  This is the main *elimination* move of
+    Algorithm 1.
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    fanins = mig.fanins(node)
+    for i in range(3):
+        for j in range(i + 1, 3):
+            first, second = fanins[i], fanins[j]
+            child_a = effective_fanins(mig, first)
+            child_b = effective_fanins(mig, second)
+            if child_a is None or child_b is None:
+                continue
+            shared = _shared_two(child_a, child_b)
+            if shared is None:
+                continue
+            (x, y), u, v = shared
+            z = fanins[3 - i - j]
+            # Only beneficial when both children can be reclaimed.
+            if mig.fanout_size(node_of(first)) > 1 or mig.fanout_size(node_of(second)) > 1:
+                continue
+            replacement = mig.maj(x, y, mig.maj(u, v, z))
+            if mig.substitute(node, replacement):
+                return True
+    return False
+
+
+def try_distributivity_lr(
+    mig: Mig, node: int, levels: Sequence[int], allow_area_increase: bool = True
+) -> bool:
+    """Ω.D left-to-right: ``M(x, y, M(u,v,z)) = M(M(x,y,u), M(x,y,v), z)``.
+
+    Pushes the latest-arriving fanin ``z`` of a child one level closer to
+    the output (Section IV-B), at the price of up to one duplicated node.
+    Applied only when the rewrite strictly reduces the local depth.
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    fanins = mig.fanins(node)
+    best = None
+    for k in range(3):
+        child = effective_fanins(mig, fanins[k])
+        if child is None:
+            continue
+        x, y = (fanins[m] for m in range(3) if m != k)
+        # Choose the deepest child fanin as the critical variable z.
+        child_sorted = sorted(child, key=lambda s: _level_of(levels, s))
+        u, v, z = child_sorted[0], child_sorted[1], child_sorted[2]
+        old_level = 2 + _level_of(levels, z)
+        new_level = 1 + max(
+            1 + max(_level_of(levels, x), _level_of(levels, y), _level_of(levels, u)),
+            1 + max(_level_of(levels, x), _level_of(levels, y), _level_of(levels, v)),
+            _level_of(levels, z),
+        )
+        if new_level >= old_level:
+            continue
+        if not allow_area_increase and mig.fanout_size(node_of(fanins[k])) > 1:
+            continue
+        if best is None or new_level < best[0]:
+            best = (new_level, x, y, u, v, z)
+    if best is None:
+        return False
+    _, x, y, u, v, z = best
+    replacement = mig.maj(mig.maj(x, y, u), mig.maj(x, y, v), z)
+    return mig.substitute(node, replacement)
+
+
+# --------------------------------------------------------------------- #
+# Ω.A — associativity
+# --------------------------------------------------------------------- #
+def try_associativity(
+    mig: Mig, node: int, levels: Optional[Sequence[int]] = None
+) -> bool:
+    """Ω.A: ``M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))``.
+
+    Exchanges the outer operand ``x`` with the inner operand ``z`` when the
+    inner one arrives later, reducing the local depth with no size penalty
+    (when the child is not shared).  With ``levels=None`` the rule is applied
+    whenever the pattern exists and the exchange moves a structurally deeper
+    operand up (used by the reshape phase).
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    if levels is None:
+        levels = mig.levels()
+    fanins = mig.fanins(node)
+    for k in range(3):
+        child = effective_fanins(mig, fanins[k])
+        if child is None:
+            continue
+        others = [fanins[m] for m in range(3) if m != k]
+        for u in others:
+            if u not in child:
+                continue
+            x = others[0] if others[1] == u else others[1]
+            inner_rest = [s for s in child if s != u]
+            if len(inner_rest) != 2:
+                continue
+            y, z = inner_rest
+            # Pick the deeper of the two candidates for promotion.
+            if _level_of(levels, y) > _level_of(levels, z):
+                y, z = z, y
+            if _level_of(levels, z) <= _level_of(levels, x):
+                continue
+            replacement = mig.maj(z, u, mig.maj(y, u, x))
+            if mig.substitute(node, replacement):
+                return True
+    return False
+
+
+def try_associativity_reshape(mig: Mig, node: int) -> bool:
+    """Ω.A used as a *reshape* move (Section IV-A walkthrough, Fig. 2(a)).
+
+    ``M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))`` applied in the direction
+    that moves an outer operand ``x`` *into* the child when ``x`` shares
+    support with the child's remaining operands.  This does not change size
+    or depth by itself, but it brings reconvergent operands next to each
+    other so that Ψ.C / Ψ.R / Ω.M can subsequently simplify them — exactly
+    the "increase the number of common inputs" rationale of the paper.
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    fanins = mig.fanins(node)
+    for k in range(3):
+        child = effective_fanins(mig, fanins[k])
+        if child is None:
+            continue
+        others = [fanins[m] for m in range(3) if m != k]
+        for u in others:
+            if u not in child:
+                continue
+            x = others[0] if others[1] == u else others[1]
+            inner_rest = [s for s in child if s != u]
+            if len(inner_rest) != 2:
+                continue
+            x_support = _support_nodes(mig, x)
+            if not x_support:
+                continue
+            for swap_out in inner_rest:
+                keep = inner_rest[0] if swap_out == inner_rest[1] else inner_rest[1]
+                # Move x inside only if it reconverges with the operand kept
+                # inside the child (and the operand moved out does not).
+                keep_support = _support_nodes(mig, keep)
+                if not (x_support & keep_support):
+                    continue
+                if node_of(swap_out) in x_support:
+                    continue
+                replacement = mig.maj(swap_out, u, mig.maj(keep, u, x))
+                if mig.substitute(node, replacement):
+                    return True
+    return False
+
+
+def _support_nodes(mig: Mig, signal: int, bound: int = 64) -> set:
+    """Set of PI / constant-free leaf and internal nodes in the cone of ``signal``."""
+    root = node_of(signal)
+    if not mig.is_maj(root):
+        return {root} if not mig.is_constant(root) else set()
+    seen = {root}
+    stack = [root]
+    while stack and len(seen) < bound:
+        current = stack.pop()
+        if not mig.is_maj(current):
+            continue
+        for f in mig.fanins(current):
+            fn = node_of(f)
+            if fn not in seen and not mig.is_constant(fn):
+                seen.add(fn)
+                stack.append(fn)
+    return seen
+
+
+def try_complementary_associativity(
+    mig: Mig, node: int, levels: Optional[Sequence[int]] = None
+) -> bool:
+    """Ψ.C: ``M(x, u, M(y, u', z)) = M(x, u, M(y, x, z))``.
+
+    Replaces the complemented reconvergent operand ``u'`` inside the child
+    with the other outer operand ``x``.  The rewrite never increases size;
+    it reduces depth when ``x`` arrives earlier than ``u`` and, even when it
+    does not, it increases operand sharing between adjacent levels, which is
+    precisely the reshape rationale of Section IV-A.
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    if levels is None:
+        levels = mig.levels()
+    fanins = mig.fanins(node)
+    for k in range(3):
+        child = effective_fanins(mig, fanins[k])
+        if child is None:
+            continue
+        others = [fanins[m] for m in range(3) if m != k]
+        for idx, u in enumerate(others):
+            nu = negate(u)
+            if nu not in child:
+                continue
+            x = others[1 - idx]
+            new_child = tuple(x if s == nu else s for s in child)
+            replacement = mig.maj(x, u, mig.maj(*new_child))
+            if mig.substitute(node, replacement):
+                return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Ψ.R — relevance
+# --------------------------------------------------------------------- #
+def try_relevance(
+    mig: Mig,
+    node: int,
+    bound: int = DEFAULT_CONE_BOUND,
+    max_growth: int = 0,
+) -> bool:
+    """Ψ.R: ``M(x, y, z) = M(x, y, z_{x/y'})``.
+
+    For each choice of the reconvergent operand ``x``, the cone of ``z`` is
+    rebuilt with ``x`` replaced by ``y'``.  The rewrite is committed only
+    when the network does not grow by more than ``max_growth`` nodes, which
+    keeps relevance useful both for elimination (strictly smaller) and for
+    reshaping (``max_growth > 0``).
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    fanins = mig.fanins(node)
+    for z_pos in range(3):
+        z = fanins[z_pos]
+        if not mig.is_maj(node_of(z)):
+            continue
+        others = [fanins[m] for m in range(3) if m != z_pos]
+        for x, y in (others, list(reversed(others))):
+            x_node = node_of(x)
+            cone = cone_nodes(mig, z, bound)
+            if cone is None:
+                continue
+            reconvergent = any(
+                node_of(f) == x_node for n in cone for f in mig.fanins(n)
+            )
+            if not reconvergent:
+                continue
+            size_before = mig.num_gates
+            replacement_target = negate_if(negate(y), is_complemented(x))
+            new_z = rebuild_cone(mig, z, {x_node: replacement_target}, bound)
+            if new_z is None:
+                continue
+            created = mig.num_gates - size_before
+            if created > len(cone) + max_growth:
+                continue  # too much duplication; dangling nodes are swept later
+            replacement = mig.maj(x, y, new_z)
+            if mig.substitute(node, replacement):
+                return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Ψ.S — substitution
+# --------------------------------------------------------------------- #
+def try_substitution(
+    mig: Mig,
+    node: int,
+    bound: int = 24,
+) -> bool:
+    """Ψ.S — replace a reconvergent pair of operands inside the node's cone.
+
+    ``M(x,y,z) = M(v, M(v', M_{v/u}(x,y,z), u), M(v', M_{v/u'}(x,y,z), u'))``
+
+    The rule temporarily inflates the MIG; it is accepted only when, after
+    the builder's implicit Ω.M/strashing simplification, the rewritten cone
+    is not larger than the original one.  This mirrors the paper's use of
+    Ψ.S as a "radical" reshape move (Fig. 2(b)).
+    """
+    if mig.is_dead(node) or not mig.is_maj(node):
+        return False
+    root = node * 2
+    cone = cone_nodes(mig, root, bound)
+    if cone is None or len(cone) < 2:
+        return False
+    # Candidate (v, u): the two most frequently referenced leaves of the cone.
+    leaf_counts: Dict[int, int] = {}
+    for n in cone:
+        for f in mig.fanins(n):
+            fn = node_of(f)
+            if not mig.is_maj(fn) and not mig.is_constant(fn):
+                leaf_counts[fn] = leaf_counts.get(fn, 0) + 1
+    candidates = sorted(leaf_counts, key=leaf_counts.get, reverse=True)
+    if len(candidates) < 2:
+        return False
+    v_node, u_node = candidates[0], candidates[1]
+    v = v_node * 2
+    u = u_node * 2
+
+    size_before = mig.num_gates
+    k_v_u = rebuild_cone(mig, root, {v_node: u}, bound)
+    k_v_nu = rebuild_cone(mig, root, {v_node: negate(u)}, bound)
+    if k_v_u is None or k_v_nu is None:
+        return False
+    replacement = mig.maj(
+        v,
+        mig.maj(negate(v), k_v_u, u),
+        mig.maj(negate(v), k_v_nu, negate(u)),
+    )
+    old_cone_gates = len(cone)
+    new_cone_gates = cone_size(mig, replacement, bound * 4)
+    if new_cone_gates > old_cone_gates:
+        return False  # dangling nodes reclaimed by the caller's cleanup()
+    if not mig.substitute(node, replacement):
+        return False
+    mig.cleanup()
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Internal utilities
+# --------------------------------------------------------------------- #
+def _shared_two(
+    first: Tuple[int, int, int], second: Tuple[int, int, int]
+) -> Optional[Tuple[Tuple[int, int], int, int]]:
+    """Find two signals shared by two fanin triples.
+
+    Returns ``((x, y), u, v)`` where ``x, y`` are shared and ``u`` / ``v``
+    are the remaining signals of ``first`` / ``second``, or ``None``.
+    """
+    first_list = list(first)
+    second_list = list(second)
+    shared = []
+    pool = list(second_list)
+    for s in first_list:
+        if s in pool:
+            shared.append(s)
+            pool.remove(s)
+    if len(shared) < 2:
+        return None
+    x, y = shared[0], shared[1]
+    rest_first = list(first_list)
+    rest_first.remove(x)
+    rest_first.remove(y)
+    rest_second = list(second_list)
+    rest_second.remove(x)
+    rest_second.remove(y)
+    return (x, y), rest_first[0], rest_second[0]

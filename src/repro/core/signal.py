@@ -1,0 +1,92 @@
+"""Signal encoding shared by all homogeneous logic networks in :mod:`repro`.
+
+A *signal* is an edge in a logic network: a reference to a node together
+with an optional complementation attribute (the "bubble" on MIG/AIG edges).
+Signals are encoded as plain non-negative integers::
+
+    signal = (node_index << 1) | complement_bit
+
+This mirrors the encoding used by ABC and mockturtle and keeps networks
+compact: signals can be stored in tuples, hashed, and compared without
+allocating wrapper objects.  The helpers in this module are the only place
+that knows about the encoding; all other code goes through them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = [
+    "make_signal",
+    "node_of",
+    "is_complemented",
+    "negate",
+    "negate_if",
+    "regular",
+    "complemented",
+    "signal_repr",
+    "CONST_FALSE",
+    "CONST_TRUE",
+    "CONST_NODE",
+]
+
+#: Index of the constant node present in every network.
+CONST_NODE = 0
+
+#: The constant-0 signal (regular edge to the constant node).
+CONST_FALSE = 0
+
+#: The constant-1 signal (complemented edge to the constant node).
+CONST_TRUE = 1
+
+
+def make_signal(node: int, complement: bool = False) -> int:
+    """Build a signal pointing at ``node`` with the given polarity."""
+    if node < 0:
+        raise ValueError(f"node index must be non-negative, got {node}")
+    return (node << 1) | (1 if complement else 0)
+
+
+def node_of(signal: int) -> int:
+    """Return the node index referenced by ``signal``."""
+    return signal >> 1
+
+
+def is_complemented(signal: int) -> bool:
+    """Return ``True`` when ``signal`` carries the complement attribute."""
+    return bool(signal & 1)
+
+
+def negate(signal: int) -> int:
+    """Return the complement of ``signal`` (toggle the inverter bubble)."""
+    return signal ^ 1
+
+
+def negate_if(signal: int, condition: bool) -> int:
+    """Return ``signal`` complemented when ``condition`` is true."""
+    return signal ^ 1 if condition else signal
+
+
+def regular(signal: int) -> int:
+    """Return the non-complemented version of ``signal``."""
+    return signal & ~1
+
+
+def complemented(signal: int) -> int:
+    """Return the complemented version of ``signal``."""
+    return signal | 1
+
+
+def signal_repr(signal: int) -> str:
+    """Human-readable rendering used in debugging and error messages."""
+    if signal == CONST_FALSE:
+        return "0"
+    if signal == CONST_TRUE:
+        return "1"
+    prefix = "~" if is_complemented(signal) else ""
+    return f"{prefix}n{node_of(signal)}"
+
+
+def sort_signals(signals: Iterable[int]) -> Tuple[int, ...]:
+    """Return ``signals`` sorted into the canonical (ascending) order."""
+    return tuple(sorted(signals))

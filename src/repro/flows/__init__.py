@@ -1,0 +1,52 @@
+"""Experiment flows: MIGhty, AIG baseline, BDD baseline, synthesis, reports."""
+
+from .mighty import MightyResult, mighty_optimize
+from .optimize import (
+    OptimizationComparison,
+    compare_optimization,
+    run_aig_optimization,
+    run_bdd_optimization,
+    run_mig_optimization,
+    run_optimization_experiment,
+)
+from .report import (
+    format_optimization_table,
+    format_synthesis_table,
+    optimization_space_points,
+    summarize_optimization,
+    summarize_synthesis,
+    synthesis_space_points,
+)
+from .synthesis import (
+    SynthesisComparison,
+    SynthesisMetrics,
+    compare_synthesis,
+    run_aig_synthesis,
+    run_cst_synthesis,
+    run_mig_synthesis,
+    run_synthesis_experiment,
+)
+
+__all__ = [
+    "mighty_optimize",
+    "MightyResult",
+    "compare_optimization",
+    "run_optimization_experiment",
+    "run_mig_optimization",
+    "run_aig_optimization",
+    "run_bdd_optimization",
+    "OptimizationComparison",
+    "compare_synthesis",
+    "run_synthesis_experiment",
+    "run_mig_synthesis",
+    "run_aig_synthesis",
+    "run_cst_synthesis",
+    "SynthesisComparison",
+    "SynthesisMetrics",
+    "format_optimization_table",
+    "format_synthesis_table",
+    "summarize_optimization",
+    "summarize_synthesis",
+    "optimization_space_points",
+    "synthesis_space_points",
+]

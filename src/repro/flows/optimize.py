@@ -1,0 +1,148 @@
+"""The logic-optimization experiment of Table I (top half) and Fig. 3.
+
+Three flows are compared on every benchmark:
+
+``MIG``
+    The benchmark built as a MIG and optimized by the MIGhty flow
+    (depth optimization interlaced with size/activity recovery).
+``AIG``
+    The same function built as an AIG and optimized by the ``resyn2``-style
+    baseline (balance / rewrite / refactor).
+``BDD``
+    The same function turned into canonical BDDs and structurally
+    decomposed back into a network (the BDS-style baseline).  Like the
+    paper (which reports N.A. for ``clma``), benchmarks whose BDDs explode
+    are reported as unavailable rather than aborting the run.
+
+Each flow reports the Table I metrics: size, depth, total switching
+activity and runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..aig.activity import total_switching_activity as aig_activity
+from ..aig.aig import Aig
+from ..aig.resyn import resyn2
+from ..analysis.activity import total_switching_activity as mig_activity
+from ..analysis.metrics import NetworkMetrics
+from ..bdd.decompose import decompose_to_mig
+from ..bench_circuits import benchmark_names, build_benchmark
+from ..core.mig import Mig
+from .mighty import mighty_optimize
+
+__all__ = [
+    "OptimizationComparison",
+    "run_mig_optimization",
+    "run_aig_optimization",
+    "run_bdd_optimization",
+    "compare_optimization",
+    "run_optimization_experiment",
+]
+
+#: Benchmarks above this PI count skip the BDD baseline (canonical BDDs with
+#: a static order blow up; the paper similarly reports N.A. for clma).
+BDD_PI_LIMIT = 600
+BDD_NODE_LIMIT = 400_000
+
+
+@dataclass
+class OptimizationComparison:
+    """Per-benchmark row of Table I (top)."""
+
+    name: str
+    mig: NetworkMetrics
+    aig: NetworkMetrics
+    bdd: Optional[NetworkMetrics]
+
+
+def run_mig_optimization(
+    mig: Mig, rounds: int = 2, depth_effort: int = 2
+) -> NetworkMetrics:
+    """Optimize a MIG with the MIGhty flow and measure it."""
+    start = time.perf_counter()
+    mighty_optimize(mig, rounds=rounds, depth_effort=depth_effort)
+    runtime = time.perf_counter() - start
+    return NetworkMetrics(
+        name=mig.name,
+        num_pis=mig.num_pis,
+        num_pos=mig.num_pos,
+        size=mig.num_gates,
+        depth=mig.depth(),
+        activity=mig_activity(mig),
+        runtime_s=runtime,
+    )
+
+
+def run_aig_optimization(aig: Aig) -> NetworkMetrics:
+    """Optimize an AIG with the resyn2-style baseline and measure it."""
+    start = time.perf_counter()
+    optimized, _stats = resyn2(aig)
+    runtime = time.perf_counter() - start
+    return NetworkMetrics(
+        name=aig.name,
+        num_pis=optimized.num_pis,
+        num_pos=optimized.num_pos,
+        size=optimized.num_gates,
+        depth=optimized.depth(),
+        activity=aig_activity(optimized),
+        runtime_s=runtime,
+    ), optimized
+
+
+def run_bdd_optimization(network) -> Optional[NetworkMetrics]:
+    """Run the BDD-decomposition baseline; ``None`` when it is infeasible."""
+    if network.num_pis > BDD_PI_LIMIT:
+        return None
+    start = time.perf_counter()
+    try:
+        decomposed, _stats = decompose_to_mig(network)
+    except (MemoryError, RecursionError):
+        return None
+    runtime = time.perf_counter() - start
+    return NetworkMetrics(
+        name=network.name,
+        num_pis=decomposed.num_pis,
+        num_pos=decomposed.num_pos,
+        size=decomposed.num_gates,
+        depth=decomposed.depth(),
+        activity=mig_activity(decomposed),
+        runtime_s=runtime,
+    )
+
+
+def compare_optimization(
+    benchmark: str,
+    rounds: int = 2,
+    depth_effort: int = 2,
+    include_bdd: bool = True,
+) -> OptimizationComparison:
+    """Run the three flows of Table I (top) on one benchmark."""
+    mig = build_benchmark(benchmark, Mig)
+    aig = build_benchmark(benchmark, Aig)
+
+    mig_metrics = run_mig_optimization(mig, rounds=rounds, depth_effort=depth_effort)
+    aig_metrics, _optimized_aig = run_aig_optimization(aig)
+    bdd_metrics = run_bdd_optimization(build_benchmark(benchmark, Mig)) if include_bdd else None
+    return OptimizationComparison(
+        name=benchmark, mig=mig_metrics, aig=aig_metrics, bdd=bdd_metrics
+    )
+
+
+def run_optimization_experiment(
+    benchmarks: Optional[List[str]] = None,
+    rounds: int = 2,
+    depth_effort: int = 2,
+    include_bdd: bool = True,
+) -> List[OptimizationComparison]:
+    """Run the full Table I (top) experiment."""
+    names = benchmarks if benchmarks is not None else benchmark_names()
+    return [
+        compare_optimization(
+            name, rounds=rounds, depth_effort=depth_effort, include_bdd=include_bdd
+        )
+        for name in names
+    ]

@@ -1,0 +1,5 @@
+"""File I/O: flattened structural Verilog reader / writers."""
+
+from .verilog import read_verilog, write_mig_verilog, write_netlist_verilog
+
+__all__ = ["read_verilog", "write_mig_verilog", "write_netlist_verilog"]

@@ -1,0 +1,17 @@
+"""Standard-cell library, technology mapping and gate-level estimation."""
+
+from .library import Cell, CellLibrary, default_library, nand_nor_library
+from .mapper import map_aig, map_mig, map_network
+from .netlist import CellInstance, MappedNetlist
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "nand_nor_library",
+    "map_mig",
+    "map_aig",
+    "map_network",
+    "MappedNetlist",
+    "CellInstance",
+]

@@ -1,0 +1,111 @@
+"""Standard-cell library for the synthesis experiments (Section V-B).
+
+The paper characterises a CMOS 22-nm library containing MIN-3, MAJ-3,
+XOR-2, XNOR-2, NAND-2, NOR-2 and INV cells.  The real characterisation data
+is proprietary (PTM-based), so this module ships a normalised library with
+22-nm-class *relative* values: area in µm², pin-to-pin delay in ns and a
+switching-energy coefficient used by the power estimator.  The absolute
+numbers are calibrated so that netlists of a few hundred cells land in the
+same order of magnitude as Table I (tens to hundreds of µm², around a
+nanosecond, hundreds of µW); what matters for the reproduction is that all
+three flows are measured with the *same* library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Cell", "CellLibrary", "default_library", "nand_nor_library"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One combinational standard cell."""
+
+    name: str
+    num_inputs: int
+    area: float          # µm²
+    delay: float         # ns, worst pin-to-output
+    energy: float        # normalised switching energy (fJ per transition)
+    leakage: float       # µW of static leakage
+
+    def evaluate(self, inputs: Sequence[int], mask: int) -> int:
+        """Bit-parallel evaluation of the cell function (for verification)."""
+        if self.name == "INV":
+            return (~inputs[0]) & mask
+        if self.name == "BUF":
+            return inputs[0] & mask
+        if self.name == "NAND2":
+            return (~(inputs[0] & inputs[1])) & mask
+        if self.name == "NOR2":
+            return (~(inputs[0] | inputs[1])) & mask
+        if self.name == "AND2":
+            return inputs[0] & inputs[1] & mask
+        if self.name == "OR2":
+            return (inputs[0] | inputs[1]) & mask
+        if self.name == "XOR2":
+            return (inputs[0] ^ inputs[1]) & mask
+        if self.name == "XNOR2":
+            return (~(inputs[0] ^ inputs[1])) & mask
+        if self.name == "MAJ3":
+            a, b, c = inputs
+            return ((a & b) | (a & c) | (b & c)) & mask
+        if self.name == "MIN3":
+            a, b, c = inputs
+            return (~((a & b) | (a & c) | (b & c))) & mask
+        raise ValueError(f"unknown cell {self.name!r}")
+
+
+class CellLibrary:
+    """A named collection of cells indexed by cell name."""
+
+    def __init__(self, name: str, cells: Sequence[Cell]) -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {cell.name: cell for cell in cells}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> Cell:
+        return self._cells[name]
+
+    def cell_names(self) -> List[str]:
+        return list(self._cells)
+
+    def cells(self) -> List[Cell]:
+        return list(self._cells.values())
+
+    @property
+    def has_majority_cells(self) -> bool:
+        return "MAJ3" in self._cells or "MIN3" in self._cells
+
+
+def default_library() -> CellLibrary:
+    """The 7-cell library of the paper (plus BUF/AND2/OR2 helpers)."""
+    return CellLibrary(
+        "cmos22_maj",
+        [
+            Cell("INV", 1, area=0.10, delay=0.008, energy=0.6, leakage=0.004),
+            Cell("BUF", 1, area=0.13, delay=0.012, energy=0.8, leakage=0.005),
+            Cell("NAND2", 2, area=0.15, delay=0.015, energy=1.0, leakage=0.007),
+            Cell("NOR2", 2, area=0.15, delay=0.017, energy=1.0, leakage=0.007),
+            Cell("AND2", 2, area=0.20, delay=0.022, energy=1.3, leakage=0.009),
+            Cell("OR2", 2, area=0.20, delay=0.024, energy=1.3, leakage=0.009),
+            Cell("XOR2", 2, area=0.30, delay=0.028, energy=2.0, leakage=0.012),
+            Cell("XNOR2", 2, area=0.30, delay=0.028, energy=2.0, leakage=0.012),
+            # MIN3 is a single static complex gate (comparable to an AOI21);
+            # MAJ3 is its complement.  Keeping them close to NAND-class delay
+            # is what makes preserving MIG nodes during mapping worthwhile
+            # (Section V-B discussion).
+            Cell("MAJ3", 3, area=0.28, delay=0.024, energy=1.8, leakage=0.012),
+            Cell("MIN3", 3, area=0.26, delay=0.022, energy=1.7, leakage=0.011),
+        ],
+    )
+
+
+def nand_nor_library() -> CellLibrary:
+    """A library without MAJ/MIN cells (used by the library ablation bench)."""
+    base = default_library()
+    cells = [cell for cell in base.cells() if cell.name not in ("MAJ3", "MIN3")]
+    return CellLibrary("cmos22_nand_nor", cells)

@@ -1,0 +1,276 @@
+"""Structural technology mapping onto the standard-cell library.
+
+The paper maps optimized MIGs (and the baseline AIGs) onto a 22-nm library
+containing MIN-3 / MAJ-3 / XOR-2 / XNOR-2 / NAND-2 / NOR-2 / INV cells with
+a proprietary mapper.  This module provides the reproduction's mapper: a
+structural covering that
+
+* recognises XOR / XNOR cones (the 3-node majority pattern and the 3-node
+  AND pattern) and maps them to the dedicated XOR2 / XNOR2 cells,
+* maps majority nodes with a constant operand to AND2 / OR2 / NAND2 / NOR2
+  (absorbing input complementation through De Morgan where possible),
+* maps full three-input majority nodes to MAJ3 / MIN3 — "natively
+  recognise and preserve MIG nodes" as Section V-B puts it,
+* materialises remaining edge complementations as INV cells (cached per
+  node so each polarity is generated at most once).
+
+Both network types (MIG and AIG) go through the *same* mapper, as in the
+paper's methodology; only the subject graph differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.signal import CONST_FALSE, CONST_TRUE, is_complemented, negate, node_of
+from .library import CellLibrary, default_library
+from .netlist import MappedNetlist
+
+__all__ = ["map_mig", "map_aig", "map_network"]
+
+
+class _MappingContext:
+    """Bookkeeping shared by the MIG and AIG mappers."""
+
+    def __init__(self, name: str, library: CellLibrary, pi_names) -> None:
+        self.netlist = MappedNetlist(name, library)
+        self.library = library
+        self.node_net: Dict[int, str] = {}
+        self.inverted_net: Dict[int, str] = {}
+        self.const_nets: Dict[bool, Optional[str]] = {False: None, True: None}
+        for pi in pi_names:
+            self.netlist.add_pi(pi)
+
+    def constant_net(self, value: bool) -> str:
+        if self.const_nets[value] is None:
+            net = f"const{1 if value else 0}"
+            self.netlist.add_constant(net, value)
+            self.const_nets[value] = net
+        return self.const_nets[value]
+
+    def literal(self, signal: int) -> str:
+        """Net carrying the value of ``signal`` (INV inserted on demand)."""
+        if signal == CONST_FALSE:
+            return self.constant_net(False)
+        if signal == CONST_TRUE:
+            return self.constant_net(True)
+        node = node_of(signal)
+        if not is_complemented(signal):
+            return self.node_net[node]
+        if node not in self.inverted_net:
+            inv_net = f"{self.node_net[node]}_n"
+            self.netlist.add_cell("INV", inv_net, [self.node_net[node]])
+            self.inverted_net[node] = inv_net
+        return self.inverted_net[node]
+
+
+def map_network(network, library: Optional[CellLibrary] = None) -> MappedNetlist:
+    """Map a MIG or an AIG onto ``library`` (the default 7-cell library)."""
+    from ..aig.aig import Aig
+    from ..core.mig import Mig
+
+    if isinstance(network, Mig):
+        return map_mig(network, library)
+    if isinstance(network, Aig):
+        return map_aig(network, library)
+    raise TypeError(f"cannot map network of type {type(network)!r}")
+
+
+# --------------------------------------------------------------------- #
+# MIG mapping
+# --------------------------------------------------------------------- #
+def map_mig(mig, library: Optional[CellLibrary] = None) -> MappedNetlist:
+    """Map a MIG onto the standard-cell library."""
+    library = library or default_library()
+    ctx = _MappingContext(mig.name, library, mig.pi_names())
+    for node, name in zip(mig.pi_nodes(), mig.pi_names()):
+        ctx.node_net[node] = name
+
+    order = mig.topological_order()
+    fanout_refs = {node: mig.fanout_size(node) for node in order}
+    absorbed = set()
+
+    for node in order:
+        if node in absorbed:
+            continue
+        net_name = f"n{node}"
+        xor_match = _match_mig_xor(mig, node, fanout_refs) if "XOR2" in library else None
+        if xor_match is not None:
+            a, b, inner_nodes, is_xnor = xor_match
+            cell = "XNOR2" if is_xnor else "XOR2"
+            ctx.netlist.add_cell(cell, net_name, [ctx.literal(a), ctx.literal(b)])
+            absorbed.update(inner_nodes)
+            ctx.node_net[node] = net_name
+            continue
+
+        fanins = mig.fanins(node)
+        constants = [f for f in fanins if f in (CONST_FALSE, CONST_TRUE)]
+        if constants:
+            const = constants[0]
+            others = [f for f in fanins if f != const]
+            a, b = others[0], others[1]
+            _map_two_input(ctx, net_name, a, b, is_or=(const == CONST_TRUE))
+        else:
+            _map_majority(ctx, net_name, fanins)
+        ctx.node_net[node] = net_name
+
+    for po, name in zip(mig.po_signals(), mig.po_names()):
+        ctx.netlist.add_po(_po_net(ctx, po), name)
+    return ctx.netlist
+
+
+def _map_two_input(ctx: _MappingContext, net: str, a: int, b: int, is_or: bool) -> None:
+    """Map ``a AND b`` / ``a OR b`` choosing NAND/NOR when it saves inverters."""
+    library = ctx.library
+    both_complemented = is_complemented(a) and is_complemented(b)
+    if both_complemented and not is_or and "NOR2" in library:
+        # a' · b' = NOR(a, b)
+        ctx.netlist.add_cell("NOR2", net, [ctx.literal(negate(a)), ctx.literal(negate(b))])
+        return
+    if both_complemented and is_or and "NAND2" in library:
+        # a' + b' = NAND(a, b)
+        ctx.netlist.add_cell("NAND2", net, [ctx.literal(negate(a)), ctx.literal(negate(b))])
+        return
+    cell = "OR2" if is_or else "AND2"
+    if cell not in library:
+        # Fall back to NAND/NOR + INV.
+        base = "NAND2" if not is_or else "NOR2"
+        tmp = f"{net}_x"
+        ctx.netlist.add_cell(base, tmp, [ctx.literal(a), ctx.literal(b)])
+        ctx.netlist.add_cell("INV", net, [tmp])
+        return
+    ctx.netlist.add_cell(cell, net, [ctx.literal(a), ctx.literal(b)])
+
+
+def _map_majority(ctx: _MappingContext, net: str, fanins) -> None:
+    """Map a full three-input majority node."""
+    library = ctx.library
+    complemented_count = sum(1 for f in fanins if is_complemented(f))
+    if "MIN3" in library and complemented_count >= 2:
+        # M(a', b', c') = MIN3(a, b, c)' ... better: M with two complements is
+        # cheaper as MIN3 of the mixed literals followed by the remaining INV
+        # absorbed through De Morgan: M(a',b',c) = (M(a,b,c'))'.
+        literals = [ctx.literal(negate(f)) for f in fanins]
+        tmp = f"{net}_m"
+        ctx.netlist.add_cell("MIN3", net, literals)
+        return
+    if "MAJ3" in library:
+        ctx.netlist.add_cell("MAJ3", net, [ctx.literal(f) for f in fanins])
+        return
+    # No majority cells (ablation library): expand into AND/OR gates.
+    a, b, c = fanins
+    ab = ctx.netlist.add_cell("AND2", f"{net}_ab", [ctx.literal(a), ctx.literal(b)])
+    aob = ctx.netlist.add_cell("OR2", f"{net}_aob", [ctx.literal(a), ctx.literal(b)])
+    cab = ctx.netlist.add_cell("AND2", f"{net}_cab", [ctx.literal(c), aob])
+    ctx.netlist.add_cell("OR2", net, [ab, cab])
+
+
+def _match_mig_xor(mig, node: int, fanout_refs) -> Optional[Tuple[int, int, set, bool]]:
+    """Detect the 3-node XOR pattern ``AND(NAND(a,b), OR(a,b))`` in a MIG."""
+    fanins = mig.fanins(node)
+    if CONST_FALSE not in fanins:
+        return None
+    others = [f for f in fanins if f != CONST_FALSE]
+    if len(others) != 2:
+        return None
+    first, second = others
+    # Expect one complemented AND child and one regular OR child.
+    candidates = [(first, second), (second, first)]
+    for nand_edge, or_edge in candidates:
+        if not is_complemented(nand_edge) or is_complemented(or_edge):
+            continue
+        nand_node, or_node = node_of(nand_edge), node_of(or_edge)
+        if not (mig.is_maj(nand_node) and mig.is_maj(or_node)):
+            continue
+        nand_fanins = mig.fanins(nand_node)
+        or_fanins = mig.fanins(or_node)
+        if CONST_FALSE not in nand_fanins or CONST_TRUE not in or_fanins:
+            continue
+        nand_ops = sorted(f for f in nand_fanins if f != CONST_FALSE)
+        or_ops = sorted(f for f in or_fanins if f != CONST_TRUE)
+        if nand_ops != or_ops or len(nand_ops) != 2:
+            continue
+        # Only absorb the inner nodes when they are not shared elsewhere.
+        if fanout_refs.get(nand_node, 2) > 1 or fanout_refs.get(or_node, 2) > 1:
+            continue
+        a, b = nand_ops
+        # node = AND(NAND(a,b), OR(a,b)) = XOR(a, b); fold literal polarities
+        # into the cell choice so no INV cells are needed for them.
+        is_xnor = False
+        if is_complemented(a):
+            a, is_xnor = negate(a), not is_xnor
+        if is_complemented(b):
+            b, is_xnor = negate(b), not is_xnor
+        return a, b, {nand_node, or_node}, is_xnor
+    return None
+
+
+# --------------------------------------------------------------------- #
+# AIG mapping
+# --------------------------------------------------------------------- #
+def map_aig(aig, library: Optional[CellLibrary] = None) -> MappedNetlist:
+    """Map an AIG onto the standard-cell library."""
+    library = library or default_library()
+    ctx = _MappingContext(aig.name, library, aig.pi_names())
+    for node, name in zip(aig.pi_nodes(), aig.pi_names()):
+        ctx.node_net[node] = name
+
+    order = aig.topological_order()
+    fanout_refs: Dict[int, int] = {}
+    for node in order:
+        for f in aig.fanins(node):
+            fn = node_of(f)
+            fanout_refs[fn] = fanout_refs.get(fn, 0) + 1
+    for po in aig.po_signals():
+        fn = node_of(po)
+        fanout_refs[fn] = fanout_refs.get(fn, 0) + 1
+
+    absorbed = set()
+    for node in order:
+        if node in absorbed:
+            continue
+        net_name = f"n{node}"
+        xor_match = _match_aig_xor(aig, node, fanout_refs) if "XOR2" in library else None
+        if xor_match is not None:
+            a, b, inner_nodes, is_xnor = xor_match
+            cell = "XNOR2" if is_xnor else "XOR2"
+            ctx.netlist.add_cell(cell, net_name, [ctx.literal(a), ctx.literal(b)])
+            absorbed.update(inner_nodes)
+            ctx.node_net[node] = net_name
+            continue
+        a, b = aig.fanins(node)
+        _map_two_input(ctx, net_name, a, b, is_or=False)
+        ctx.node_net[node] = net_name
+
+    for po, name in zip(aig.po_signals(), aig.po_names()):
+        ctx.netlist.add_po(_po_net(ctx, po), name)
+    return ctx.netlist
+
+
+def _match_aig_xor(aig, node: int, fanout_refs) -> Optional[Tuple[int, int, set, bool]]:
+    """Detect ``!(x1·x2) · !(x1'·x2') = XOR(x1, x2)`` rooted at an AND node."""
+    a_edge, b_edge = aig.fanins(node)
+    if not (is_complemented(a_edge) and is_complemented(b_edge)):
+        return None
+    left, right = node_of(a_edge), node_of(b_edge)
+    if not (aig.is_and(left) and aig.is_and(right)):
+        return None
+    left_ops = set(aig.fanins(left))
+    right_ops = set(aig.fanins(right))
+    if left_ops != {negate(s) for s in right_ops}:
+        return None
+    if fanout_refs.get(left, 2) > 1 or fanout_refs.get(right, 2) > 1:
+        return None
+    x1, x2 = sorted(left_ops)
+    # node = !(x1·x2) · !(x1'·x2') = XOR(x1, x2); absorb literal polarities.
+    is_xnor = False
+    if is_complemented(x1):
+        x1, is_xnor = negate(x1), not is_xnor
+    if is_complemented(x2):
+        x2, is_xnor = negate(x2), not is_xnor
+    return x1, x2, {left, right}, is_xnor
+
+
+def _po_net(ctx: _MappingContext, po_signal: int) -> str:
+    """Net for a primary-output signal (an INV or BUF is emitted if needed)."""
+    return ctx.literal(po_signal)

@@ -1,0 +1,5 @@
+"""Shared logic-network utilities (conversions between representations)."""
+
+from .convert import aig_to_mig, mig_to_aig
+
+__all__ = ["aig_to_mig", "mig_to_aig"]

@@ -1,0 +1,57 @@
+"""Conversions between network types (MIG ↔ AIG, BDD → MIG).
+
+Theorem 3.1 of the paper states MIGs ⊃ AOIGs ⊃ AIGs: converting an AIG to
+a MIG is a one-to-one node translation (``AND(a, b) = M(a, b, 0)``), while
+converting a MIG back to an AIG expands every majority node into its
+AND/OR decomposition ``M(a, b, c) = ab + c(a + b)``.
+
+These conversions are what the experimental flows use to give every
+optimizer the same starting function: benchmarks are generated once and
+translated losslessly into each representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..aig.aig import Aig
+from ..core.mig import Mig
+from ..core.signal import CONST_FALSE, CONST_NODE, is_complemented, negate_if, node_of
+
+__all__ = ["aig_to_mig", "mig_to_aig"]
+
+
+def aig_to_mig(aig: Aig) -> Mig:
+    """Translate an AIG into a MIG node-for-node (no optimization)."""
+    mig = Mig()
+    mig.name = aig.name
+    mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
+    for node, name in zip(aig.pi_nodes(), aig.pi_names()):
+        mapping[node] = mig.add_pi(name)
+    for node in aig.topological_order():
+        a, b = aig.fanins(node)
+        mapping[node] = mig.and_(
+            negate_if(mapping[node_of(a)], is_complemented(a)),
+            negate_if(mapping[node_of(b)], is_complemented(b)),
+        )
+    for po, name in zip(aig.po_signals(), aig.po_names()):
+        mig.add_po(negate_if(mapping[node_of(po)], is_complemented(po)), name)
+    return mig
+
+
+def mig_to_aig(mig: Mig) -> Aig:
+    """Expand a MIG into an AIG (``M(a,b,c) = ab + c(a + b)``)."""
+    aig = Aig()
+    aig.name = mig.name
+    mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
+    for node, name in zip(mig.pi_nodes(), mig.pi_names()):
+        mapping[node] = aig.add_pi(name)
+    for node in mig.topological_order():
+        a, b, c = mig.fanins(node)
+        sa = negate_if(mapping[node_of(a)], is_complemented(a))
+        sb = negate_if(mapping[node_of(b)], is_complemented(b))
+        sc = negate_if(mapping[node_of(c)], is_complemented(c))
+        mapping[node] = aig.maj_(sa, sb, sc)
+    for po, name in zip(mig.po_signals(), mig.po_names()):
+        aig.add_po(negate_if(mapping[node_of(po)], is_complemented(po)), name)
+    return aig

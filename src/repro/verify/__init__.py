@@ -1,0 +1,5 @@
+"""Verification utilities (combinational equivalence checking)."""
+
+from .equivalence import EquivalenceResult, assert_equivalent, check_equivalence
+
+__all__ = ["EquivalenceResult", "check_equivalence", "assert_equivalent"]

@@ -1,0 +1,134 @@
+"""Tests for the synthetic MCNC-like benchmark generators."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.bench_circuits import (
+    BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    build_compression_circuit,
+)
+from repro.bench_circuits.components import (
+    array_multiplier,
+    carry_lookahead_adder,
+    less_than_comparator,
+    min_max_unit,
+    parity_tree,
+    ripple_adder,
+)
+from repro.core import Mig
+from repro.verify import check_equivalence
+
+SMALL = ["alu4", "misex3", "my_adder", "b9", "count", "C1908"]
+
+
+class TestSpecs:
+    def test_fourteen_table1_benchmarks(self):
+        assert len(benchmark_names()) == 14
+        assert benchmark_names()[0] == "C1355"
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_io_counts_match_table1(self, name):
+        spec = BENCHMARKS[name]
+        net = build_benchmark(name, Mig)
+        assert net.num_pis == spec.num_inputs
+        assert net.num_pos == spec.num_outputs
+        assert net.num_gates > 0
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_benchmark("does_not_exist")
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_mig_and_aig_builds_are_equivalent(self, name):
+        mig = build_benchmark(name, Mig)
+        aig = build_benchmark(name, Aig)
+        assert check_equivalence(mig, aig, num_random_vectors=512).equivalent
+
+    def test_generators_are_deterministic(self):
+        first = build_benchmark("b9", Mig)
+        second = build_benchmark("b9", Mig)
+        assert first.num_gates == second.num_gates
+        assert first.truth_tables() if first.num_pis <= 14 else True
+        assert check_equivalence(first, second, num_random_vectors=256).equivalent
+
+    def test_compression_circuit_scales(self):
+        small = build_compression_circuit(16, Mig)
+        large = build_compression_circuit(64, Mig)
+        assert large.num_gates > small.num_gates
+        assert small.num_pos == 16
+        assert large.num_pos == 64
+
+
+class TestComponents:
+    def test_ripple_adder_correct(self):
+        mig = Mig()
+        a = [mig.add_pi(f"a{i}") for i in range(4)]
+        b = [mig.add_pi(f"b{i}") for i in range(4)]
+        cin = mig.add_pi("cin")
+        sums, carry = ripple_adder(mig, a, b, cin)
+        for s in sums:
+            mig.add_po(s, None)
+        mig.add_po(carry, "cout")
+        tts = mig.truth_tables()
+        for x in range(16):
+            for y in range(16):
+                for c in (0, 1):
+                    index = x | (y << 4) | (c << 8)
+                    total = x + y + c
+                    for bit in range(5):
+                        assert ((tts[bit] >> index) & 1) == ((total >> bit) & 1)
+
+    def test_cla_matches_ripple(self):
+        mig = Mig()
+        a = [mig.add_pi(f"a{i}") for i in range(6)]
+        b = [mig.add_pi(f"b{i}") for i in range(6)]
+        cin = mig.constant(False)
+        ripple_sums, ripple_carry = ripple_adder(mig, a, b, cin)
+        cla_sums, cla_carry = carry_lookahead_adder(mig, a, b, cin, block=3)
+        for r, c in zip(ripple_sums + [ripple_carry], cla_sums + [cla_carry]):
+            mig.add_po(mig.xor_(r, c), None)
+        assert all(tt == 0 for tt in mig.truth_tables())
+
+    def test_multiplier_correct(self):
+        mig = Mig()
+        a = [mig.add_pi(f"a{i}") for i in range(3)]
+        b = [mig.add_pi(f"b{i}") for i in range(3)]
+        product = array_multiplier(mig, a, b)
+        for p in product:
+            mig.add_po(p, None)
+        tts = mig.truth_tables()
+        for x in range(8):
+            for y in range(8):
+                index = x | (y << 3)
+                value = x * y
+                for bit in range(6):
+                    assert ((tts[bit] >> index) & 1) == ((value >> bit) & 1)
+
+    def test_comparator_and_minmax(self):
+        mig = Mig()
+        a = [mig.add_pi(f"a{i}") for i in range(3)]
+        b = [mig.add_pi(f"b{i}") for i in range(3)]
+        lt = less_than_comparator(mig, a, b)
+        minimum, maximum = min_max_unit(mig, a, b)
+        mig.add_po(lt, "lt")
+        for m in minimum + maximum:
+            mig.add_po(m, None)
+        tts = mig.truth_tables()
+        for x in range(8):
+            for y in range(8):
+                index = x | (y << 3)
+                assert ((tts[0] >> index) & 1) == (1 if x < y else 0)
+                mn, mx = min(x, y), max(x, y)
+                for bit in range(3):
+                    assert ((tts[1 + bit] >> index) & 1) == ((mn >> bit) & 1)
+                    assert ((tts[4 + bit] >> index) & 1) == ((mx >> bit) & 1)
+
+    def test_parity_tree(self):
+        mig = Mig()
+        pis = [mig.add_pi(f"x{i}") for i in range(5)]
+        mig.add_po(parity_tree(mig, pis), "p")
+        (tt,) = mig.truth_tables()
+        for i in range(32):
+            assert ((tt >> i) & 1) == (bin(i).count("1") & 1)

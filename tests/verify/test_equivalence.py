@@ -1,0 +1,79 @@
+"""Tests for the combinational equivalence checker."""
+
+import pytest
+
+from repro.core import Mig, random_aoig_mig, random_mig
+from repro.core.signal import negate
+from repro.network import mig_to_aig
+from repro.verify import assert_equivalent, check_equivalence
+
+
+class TestEquivalence:
+    def test_identical_networks(self):
+        mig = random_mig(6, 20, num_pos=3, seed=1)
+        result = check_equivalence(mig, mig.copy())
+        assert result.equivalent
+        assert result.method == "exhaustive"
+
+    def test_detects_difference_exhaustive(self):
+        first = Mig()
+        a, b = first.add_pi("a"), first.add_pi("b")
+        first.add_po(first.and_(a, b), "f")
+        second = Mig()
+        a, b = second.add_pi("a"), second.add_pi("b")
+        second.add_po(second.or_(a, b), "f")
+        result = check_equivalence(first, second)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        assert result.failing_output == 0
+
+    def test_detects_single_output_inversion(self):
+        mig = random_mig(5, 15, num_pos=2, seed=3)
+        broken = mig.copy()
+        broken.set_po(1, negate(broken.po_signals()[1]))
+        assert not check_equivalence(mig, broken).equivalent
+
+    def test_cross_representation(self):
+        mig = random_aoig_mig(7, 30, num_pos=4, seed=9)
+        aig = mig_to_aig(mig)
+        assert check_equivalence(mig, aig).equivalent
+
+    def test_random_simulation_for_wide_networks(self):
+        mig = random_aoig_mig(20, 60, num_pos=5, seed=4)
+        result = check_equivalence(mig, mig.copy(), num_random_vectors=512)
+        assert result.equivalent
+        assert result.method == "random-simulation"
+
+    def test_bdd_backed_check(self):
+        mig = random_aoig_mig(16, 40, num_pos=3, seed=6)
+        result = check_equivalence(mig, mig.copy(), use_bdd=True)
+        assert result.equivalent
+        assert result.method == "bdd"
+
+    def test_mismatched_interfaces_rejected(self):
+        small = random_mig(4, 10, num_pos=2, seed=1)
+        big = random_mig(5, 10, num_pos=2, seed=1)
+        with pytest.raises(ValueError):
+            check_equivalence(small, big)
+
+    def test_assert_equivalent_raises_with_context(self):
+        first = Mig()
+        a = first.add_pi("a")
+        first.add_po(a, "f")
+        second = Mig()
+        a = second.add_pi("a")
+        second.add_po(negate(a), "f")
+        with pytest.raises(AssertionError):
+            assert_equivalent(first, second)
+
+
+class TestNetworkConversions:
+    def test_mig_aig_roundtrip(self):
+        from repro.network import aig_to_mig
+
+        mig = random_mig(6, 25, num_pos=3, seed=12)
+        aig = mig_to_aig(mig)
+        back = aig_to_mig(aig)
+        assert check_equivalence(mig, back).equivalent
+        assert back.pi_names() == mig.pi_names()
+        assert back.po_names() == mig.po_names()
