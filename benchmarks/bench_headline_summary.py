@@ -9,9 +9,12 @@ This bench computes both headline numbers on a representative subset and
 prints paper-vs-measured.
 """
 
+import time
+
 import pytest
 
 from repro.flows import (
+    format_pass_metrics,
     run_optimization_experiment,
     run_synthesis_experiment,
     summarize_optimization,
@@ -27,19 +30,35 @@ def test_headline_summary(benchmark):
     """Compute the abstract's headline percentages on a subset of the suite."""
 
     def run():
-        opt = summarize_optimization(
-            run_optimization_experiment(
-                _SUBSET, rounds=flow_rounds(), depth_effort=flow_depth_effort()
-            )
+        t0 = time.perf_counter()
+        rows = run_optimization_experiment(
+            _SUBSET, rounds=flow_rounds(), depth_effort=flow_depth_effort()
         )
+        opt_wall = time.perf_counter() - t0
+        opt = summarize_optimization(rows)
+        t0 = time.perf_counter()
         syn = summarize_synthesis(
             run_synthesis_experiment(
                 _SUBSET, rounds=flow_rounds(), depth_effort=flow_depth_effort()
             )
         )
-        return opt, syn
+        syn_wall = time.perf_counter() - t0
+        return opt, syn, rows, opt_wall, syn_wall
 
-    opt, syn = benchmark.pedantic(run, iterations=1, rounds=1)
+    opt, syn, rows, opt_wall, syn_wall = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        f"Wall-time: optimization experiment {opt_wall:.2f}s, "
+        f"synthesis experiment {syn_wall:.2f}s "
+        f"(subset of {len(_SUBSET)} benchmarks)"
+    )
+    benchmark.extra_info["opt_wall_s"] = round(opt_wall, 2)
+    benchmark.extra_info["syn_wall_s"] = round(syn_wall, 2)
+    # Per-pass trace of the MIGhty flow on the largest subset member, so
+    # the CI log shows where the wall-time goes before/after each pass.
+    largest = max(rows, key=lambda r: r.mig.size)
+    print()
+    print(format_pass_metrics(largest.mig_passes, title=f"MIGhty passes on {largest.name}"))
     print()
     print("Headline results (paper → measured):")
     print(f"  depth vs AIG       : -18.6%  → {-opt.depth_improvement_vs_aig:+.1f}%")

@@ -8,30 +8,30 @@ the same conventions as :class:`repro.core.mig.Mig`, restricted to
 conjunctions (Theorem 3.1: an AIG is the special case of a MIG whose third
 operand is a constant).
 
+Storage, hashing, fanout/ref-count tracking, substitution and the cached
+topology/levels machinery all come from the shared
+:class:`repro.network.base.LogicNetwork` kernel; only the AND-node
+semantics live here.
+
 The baseline optimization passes (balance / rewrite / refactor, the
 ``resyn2``-style script) live in :mod:`repro.aig.resyn`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..core.signal import (
     CONST_FALSE,
-    CONST_NODE,
     CONST_TRUE,
-    is_complemented,
-    make_signal,
     negate,
-    negate_if,
-    node_of,
-    signal_repr,
 )
+from ..network.base import LogicNetwork
 
 __all__ = ["Aig"]
 
 
-class Aig:
+class Aig(LogicNetwork):
     """An AND-Inverter Graph with structural hashing.
 
     Node 0 is the constant-0 node, primary inputs follow, and two-input AND
@@ -39,60 +39,26 @@ class Aig:
     ``(node << 1) | complement`` encoding of :mod:`repro.core.signal`.
     """
 
+    GATE_KIND = "AND"
+
     def __init__(self) -> None:
-        self._fanins: List[Optional[Tuple[int, int]]] = [None]
-        self._pis: List[int] = []
-        self._pi_names: List[str] = []
-        self._pos: List[int] = []
-        self._po_names: List[str] = []
-        self._strash: Dict[Tuple[int, int], int] = {}
-        self.name: str = "aig"
+        super().__init__()
+        self.name = "aig"
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def add_pi(self, name: Optional[str] = None) -> int:
-        node = len(self._fanins)
-        self._fanins.append(None)
-        self._pis.append(node)
-        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
-        return make_signal(node)
-
-    def add_po(self, signal: int, name: Optional[str] = None) -> int:
-        self._validate_signal(signal)
-        index = len(self._pos)
-        self._pos.append(signal)
-        self._po_names.append(name if name is not None else f"po{index}")
-        return index
-
-    def constant(self, value: bool) -> int:
-        return CONST_TRUE if value else CONST_FALSE
-
     def and_(self, a: int, b: int) -> int:
         """Create (or reuse) the AND node ``a ∧ b`` with trivial folding."""
         self._validate_signal(a)
         self._validate_signal(b)
-        if a == CONST_FALSE or b == CONST_FALSE or a == negate(b):
-            return CONST_FALSE
-        if a == CONST_TRUE:
-            return b
-        if b == CONST_TRUE:
-            return a
-        if a == b:
-            return a
+        simplified = _simplify_and(a, b)
+        if simplified is not None:
+            return simplified
         key = (a, b) if a < b else (b, a)
-        existing = self._strash.get(key)
-        if existing is not None:
-            return make_signal(existing)
-        node = len(self._fanins)
-        self._fanins.append(key)
-        self._strash[key] = node
-        return make_signal(node)
+        return self._create_gate(key)
 
     # Derived operators ------------------------------------------------- #
-    def not_(self, a: int) -> int:
-        return negate(a)
-
     def or_(self, a: int, b: int) -> int:
         return negate(self.and_(negate(a), negate(b)))
 
@@ -122,169 +88,48 @@ class Aig:
         return self.or_(self.or_(a, b), c)
 
     # ------------------------------------------------------------------ #
-    # Inspection
+    # Inspection (AIG-specific accounting)
     # ------------------------------------------------------------------ #
     @property
-    def num_pis(self) -> int:
-        return len(self._pis)
-
-    @property
-    def num_pos(self) -> int:
-        return len(self._pos)
-
-    @property
     def num_gates(self) -> int:
-        """Number of AND nodes reachable from the primary outputs."""
-        return len(self._reachable_gates())
+        """Number of AND nodes reachable from the primary outputs.
 
-    @property
-    def num_nodes(self) -> int:
-        return len(self._fanins)
-
-    @property
-    def size(self) -> int:
-        return self.num_gates
-
-    def pi_nodes(self) -> List[int]:
-        return list(self._pis)
-
-    def pi_signals(self) -> List[int]:
-        return [make_signal(n) for n in self._pis]
-
-    def po_signals(self) -> List[int]:
-        return list(self._pos)
-
-    def pi_names(self) -> List[str]:
-        return list(self._pi_names)
-
-    def po_names(self) -> List[str]:
-        return list(self._po_names)
-
-    def is_constant(self, node: int) -> bool:
-        return node == CONST_NODE
-
-    def is_pi(self, node: int) -> bool:
-        return self._fanins[node] is None and node != CONST_NODE
+        Unlike :class:`~repro.core.mig.Mig` (whose optimizers reclaim dead
+        logic eagerly), the AIG passes are rebuild-based, so the paper's
+        size metric counts only the PO-reachable cone.  Served from the
+        cached topological order, so it is O(1) between structural changes.
+        """
+        return len(self._topology())
 
     def is_and(self, node: int) -> bool:
         return self._fanins[node] is not None
 
-    def fanins(self, node: int) -> Tuple[int, int]:
-        fanins = self._fanins[node]
-        if fanins is None:
-            raise ValueError(f"node {node} is not an AND node")
-        return fanins
-
     def gates(self) -> Iterator[int]:
         """Iterate over PO-reachable AND nodes in topological order."""
-        return iter(self._reachable_gates())
+        return iter(self.topological_order())
 
     # ------------------------------------------------------------------ #
-    # Topology and metrics
+    # Kernel hooks (AND semantics)
     # ------------------------------------------------------------------ #
-    def _reachable_gates(self) -> List[int]:
-        order: List[int] = []
-        visited = [False] * len(self._fanins)
-        visited[CONST_NODE] = True
-        for node in self._pis:
-            visited[node] = True
-        for po in self._pos:
-            root = node_of(po)
-            if visited[root]:
-                continue
-            stack: List[Tuple[int, bool]] = [(root, False)]
-            while stack:
-                node, expanded = stack.pop()
-                if expanded:
-                    order.append(node)
-                    continue
-                if visited[node]:
-                    continue
-                visited[node] = True
-                stack.append((node, True))
-                for f in self._fanins[node]:
-                    fn = node_of(f)
-                    if not visited[fn] and self._fanins[fn] is not None:
-                        stack.append((fn, False))
-        return order
+    def _gate_simplify(self, fanins: Tuple[int, ...]) -> Optional[int]:
+        return _simplify_and(*fanins)
 
-    def topological_order(self) -> List[int]:
-        return self._reachable_gates()
+    def _strash_candidates(
+        self, fanins: Tuple[int, ...]
+    ) -> Iterable[Tuple[Tuple[int, ...], bool]]:
+        a, b = fanins
+        yield ((a, b) if a < b else (b, a)), False
 
-    def levels(self) -> List[int]:
-        level = [0] * len(self._fanins)
-        for node in self._reachable_gates():
-            a, b = self._fanins[node]
-            level[node] = 1 + max(level[node_of(a)], level[node_of(b)])
-        return level
+    def _gate_key(self, fanins: Tuple[int, ...]) -> Tuple[int, ...]:
+        a, b = fanins
+        return (a, b) if a < b else (b, a)
 
-    def depth(self) -> int:
-        if not self._pos:
-            return 0
-        level = self.levels()
-        return max(level[node_of(po)] for po in self._pos)
+    def _eval_gate(self, values: List[int], fanins: Tuple[int, ...], mask: int) -> int:
+        a, b = fanins
+        return self._edge_value(values, a, mask) & self._edge_value(values, b, mask)
 
-    # ------------------------------------------------------------------ #
-    # Simulation
-    # ------------------------------------------------------------------ #
-    def simulate_patterns(self, pi_patterns: Sequence[int], num_bits: int) -> List[int]:
-        if len(pi_patterns) != len(self._pis):
-            raise ValueError(
-                f"expected {len(self._pis)} PI patterns, got {len(pi_patterns)}"
-            )
-        mask = (1 << num_bits) - 1
-        values = [0] * len(self._fanins)
-        for node, pattern in zip(self._pis, pi_patterns):
-            values[node] = pattern & mask
-        for node in self._reachable_gates():
-            a, b = self._fanins[node]
-            va = self._edge_value(values, a, mask)
-            vb = self._edge_value(values, b, mask)
-            values[node] = va & vb
-        return [self._edge_value(values, po, mask) for po in self._pos]
-
-    def simulate(self, assignment: Sequence[bool]) -> List[bool]:
-        patterns = [1 if bit else 0 for bit in assignment]
-        return [bool(o & 1) for o in self.simulate_patterns(patterns, 1)]
-
-    def truth_tables(self) -> List[int]:
-        n = len(self._pis)
-        if n > 20:
-            raise ValueError("exhaustive simulation limited to 20 inputs")
-        num_bits = 1 << n
-        patterns = []
-        for i in range(n):
-            block = (1 << (1 << i)) - 1
-            pattern = 0
-            period = 1 << (i + 1)
-            for start in range(1 << i, num_bits, period):
-                pattern |= block << start
-            patterns.append(pattern)
-        return self.simulate_patterns(patterns, num_bits)
-
-    @staticmethod
-    def _edge_value(values: List[int], signal: int, mask: int) -> int:
-        v = values[node_of(signal)]
-        return (~v) & mask if is_complemented(signal) else v
-
-    # ------------------------------------------------------------------ #
-    # Copy
-    # ------------------------------------------------------------------ #
-    def copy(self) -> "Aig":
-        other = Aig()
-        other.name = self.name
-        mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
-        for node, name in zip(self._pis, self._pi_names):
-            mapping[node] = other.add_pi(name)
-        for node in self._reachable_gates():
-            a, b = self._fanins[node]
-            mapping[node] = other.and_(
-                negate_if(mapping[node_of(a)], is_complemented(a)),
-                negate_if(mapping[node_of(b)], is_complemented(b)),
-            )
-        for po, name in zip(self._pos, self._po_names):
-            other.add_po(negate_if(mapping[node_of(po)], is_complemented(po)), name)
-        return other
+    def _build_gate(self, fanins: Tuple[int, ...]) -> int:
+        return self.and_(*fanins)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -292,10 +137,18 @@ class Aig:
             f"gates={self.num_gates}, depth={self.depth()})"
         )
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _validate_signal(self, signal: int) -> None:
-        node = node_of(signal)
-        if node >= len(self._fanins) or node < 0:
-            raise ValueError(f"signal {signal_repr(signal)} references unknown node")
+
+# ---------------------------------------------------------------------- #
+# Module-level helpers
+# ---------------------------------------------------------------------- #
+def _simplify_and(a: int, b: int) -> Optional[int]:
+    """Constant folding / idempotence / complement rules of the AND node."""
+    if a == CONST_FALSE or b == CONST_FALSE or a == negate(b):
+        return CONST_FALSE
+    if a == CONST_TRUE:
+        return b
+    if b == CONST_TRUE:
+        return a
+    if a == b:
+        return a
+    return None

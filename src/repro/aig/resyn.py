@@ -4,23 +4,23 @@ ABC's ``resyn2`` alternates balancing, rewriting and refactoring passes::
 
     b; rw; rf; b; rw; rwz; b; rfz; rwz; b
 
-This module provides the equivalent driver on top of the passes available
-in this reproduction (:func:`repro.aig.balance.balance` and
-:func:`repro.aig.rewrite.rewrite` / ``refactor``), together with a small
-stats record so flows and benchmarks can report what the baseline did.
+This module declares the equivalent driver as a chain of
+:class:`~repro.flows.engine.RebuildPass` objects over the flow engine:
+every script element becomes a named pass whose candidate network is kept
+only when it does not regress, and the engine records the per-pass
+size / depth / runtime metrics that the flows and benchmarks report.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Sequence
 
 from .aig import Aig
 from .balance import balance
 from .rewrite import refactor, rewrite
 
-__all__ = ["ResynStats", "resyn2", "run_script"]
+__all__ = ["ResynStats", "resyn2", "run_script", "RESYN2_SCRIPT"]
 
 
 @dataclass
@@ -33,6 +33,7 @@ class ResynStats:
     final_depth: int
     passes: List[str]
     runtime_s: float
+    pass_metrics: List = field(default_factory=list)
 
 
 #: The default pass sequence (an abbreviation of ABC's resyn2 script).
@@ -52,35 +53,47 @@ _PASSES: dict = {
 }
 
 
+def _keeps_or_improves(candidate: Aig, current: Aig) -> bool:
+    """The baseline's acceptance rule: keep a pass unless it regresses.
+
+    A candidate is adopted when it does not worsen the ``(size, depth)``
+    pair, or when it strictly improves either metric on its own.
+    """
+    return (
+        (candidate.num_gates, candidate.depth())
+        <= (current.num_gates, current.depth())
+        or candidate.depth() < current.depth()
+        or candidate.num_gates < current.num_gates
+    )
+
+
 def run_script(aig: Aig, script: Sequence[str]) -> tuple:
-    """Run a named pass sequence; returns ``(optimized_aig, stats)``."""
-    start = time.perf_counter()
-    initial_size = aig.num_gates
-    initial_depth = aig.depth()
-    current = aig
-    executed: List[str] = []
+    """Run a named pass sequence; returns ``(optimized_aig, stats)``.
+
+    The input AIG is never modified: rebuild passes chain fresh networks,
+    exactly like ABC's scripts.
+    """
+    from ..flows.engine import RebuildPass, run_rebuild_chain
+
+    passes = []
     for name in script:
         try:
-            pass_fn: Callable[[Aig], Aig] = _PASSES[name]
+            pass_fn = _PASSES[name]
         except KeyError as exc:
             raise ValueError(f"unknown AIG pass {name!r}") from exc
-        candidate = pass_fn(current)
-        # Keep a pass only if it does not regress both size and depth.
-        if (candidate.num_gates, candidate.depth()) <= (
-            current.num_gates,
-            current.depth(),
-        ) or candidate.depth() < current.depth() or candidate.num_gates < current.num_gates:
-            current = candidate
-        executed.append(name)
+        passes.append(RebuildPass(name, pass_fn, accept=_keeps_or_improves))
+
+    optimized, result = run_rebuild_chain(aig, passes, name="aig_script")
     stats = ResynStats(
-        initial_size=initial_size,
-        final_size=current.num_gates,
-        initial_depth=initial_depth,
-        final_depth=current.depth(),
-        passes=executed,
-        runtime_s=time.perf_counter() - start,
+        initial_size=result.initial_size,
+        final_size=result.final_size,
+        initial_depth=result.initial_depth,
+        final_depth=result.final_depth,
+        passes=list(script),
+        runtime_s=result.runtime_s,
+        pass_metrics=result.passes,
     )
-    return current, stats
+    return optimized, stats
 
 
 def resyn2(aig: Aig) -> tuple:

@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-__all__ = ["NetworkMetrics", "measure_mig", "measure_aig", "geometric_improvement"]
+__all__ = [
+    "NetworkMetrics",
+    "measure_mig",
+    "measure_aig",
+    "measure_network",
+    "measure_activity",
+    "geometric_improvement",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,42 @@ def measure_aig(
         size=aig.num_gates,
         depth=aig.depth(),
         activity=aig_activity(aig, pi_probabilities),
+        runtime_s=runtime_s,
+    )
+
+
+def measure_activity(
+    network, pi_probabilities: Optional[Mapping[str, float]] = None
+) -> float:
+    """Total switching activity of a MIG or AIG (dispatch on gate arity).
+
+    Used by the pass-manager engine (:mod:`repro.flows.engine`) when a
+    pipeline is asked to record per-pass activity, so a single pass
+    implementation works for both network types.
+    """
+    if getattr(network, "is_maj", None) is not None:
+        from .activity import total_switching_activity
+
+        return total_switching_activity(network, pi_probabilities)
+    from ..aig.activity import total_switching_activity as aig_activity
+
+    return aig_activity(network, pi_probabilities)
+
+
+def measure_network(
+    network,
+    name: Optional[str] = None,
+    runtime_s: float = 0.0,
+    pi_probabilities: Optional[Mapping[str, float]] = None,
+) -> NetworkMetrics:
+    """Measure any :class:`~repro.network.base.LogicNetwork` subclass."""
+    return NetworkMetrics(
+        name=name or network.name,
+        num_pis=network.num_pis,
+        num_pos=network.num_pos,
+        size=network.num_gates,
+        depth=network.depth(),
+        activity=measure_activity(network, pi_probabilities),
         runtime_s=runtime_s,
     )
 

@@ -7,6 +7,10 @@ optional complementation attribute.
 
 Design notes
 ------------
+* Storage, structural hashing, fanout/ref-count bookkeeping, in-place
+  substitution and the incremental topology/level caches live in the shared
+  :class:`repro.network.base.LogicNetwork` kernel; this module contributes
+  the majority-specific node semantics.
 * Nodes are identified by dense integer indices.  Node ``0`` is the
   constant-0 node; primary inputs follow; majority gates are appended as
   they are created.
@@ -29,25 +33,22 @@ Design notes
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from ..network.base import LogicNetwork
 from .signal import (
     CONST_FALSE,
     CONST_NODE,
     CONST_TRUE,
     is_complemented,
-    make_signal,
     negate,
-    negate_if,
     node_of,
-    signal_repr,
 )
 
 __all__ = ["Mig"]
 
 
-class Mig:
+class Mig(LogicNetwork):
     """A Majority-Inverter Graph.
 
     The public surface follows the vocabulary of the paper: primary
@@ -66,50 +67,15 @@ class Mig:
     1
     """
 
+    GATE_KIND = "majority"
+
     def __init__(self) -> None:
-        # Per-node storage.  ``_fanins[n]`` is a tuple of three signals for
-        # majority nodes and ``None`` for the constant node and PIs.
-        self._fanins: List[Optional[Tuple[int, int, int]]] = [None]
-        self._dead: List[bool] = [False]
-        self._ref: List[int] = [0]
-        self._fanouts: List[set] = [set()]
-
-        self._pis: List[int] = []
-        self._pi_names: List[str] = []
-        self._pos: List[int] = []
-        self._po_names: List[str] = []
-
-        self._strash: Dict[Tuple[int, int, int], int] = {}
-        self._num_gates = 0
-        self.name: str = "mig"
+        super().__init__()
+        self.name = "mig"
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def add_pi(self, name: Optional[str] = None) -> int:
-        """Create a primary input and return its (regular) signal."""
-        node = self._allocate_node(None)
-        self._pis.append(node)
-        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
-        return make_signal(node)
-
-    def add_po(self, signal: int, name: Optional[str] = None) -> int:
-        """Register ``signal`` as a primary output; return its PO index."""
-        self._validate_signal(signal)
-        index = len(self._pos)
-        self._pos.append(signal)
-        self._po_names.append(name if name is not None else f"po{index}")
-        self._ref[node_of(signal)] += 1
-        return index
-
-    def constant(self, value: bool) -> int:
-        """Return the constant-0 or constant-1 signal."""
-        return CONST_TRUE if value else CONST_FALSE
-
-    def get_constant(self, value: bool) -> int:
-        """Alias of :meth:`constant` (mockturtle-compatible name)."""
-        return self.constant(value)
-
     def maj(self, a: int, b: int, c: int) -> int:
         """Create (or reuse) the majority node ``M(a, b, c)``.
 
@@ -126,24 +92,9 @@ class Mig:
             return simplified
 
         fanins, out_compl = _normalize_maj(a, b, c)
-        existing = self._strash.get(fanins)
-        if existing is not None and not self._dead[existing]:
-            return make_signal(existing, out_compl)
-
-        node = self._allocate_node(fanins)
-        self._strash[fanins] = node
-        self._num_gates += 1
-        for f in fanins:
-            fn = node_of(f)
-            self._ref[fn] += 1
-            self._fanouts[fn].add(node)
-        return make_signal(node, out_compl)
+        return self._create_gate(fanins, out_compl)
 
     # Derived operators ------------------------------------------------- #
-    def not_(self, a: int) -> int:
-        """Return the complement of ``a`` (a complemented edge, no node)."""
-        return negate(a)
-
     def and_(self, a: int, b: int) -> int:
         """AND via the majority generalisation ``M(a, b, 0)``."""
         return self.maj(a, b, CONST_FALSE)
@@ -188,475 +139,32 @@ class Mig:
         return negate(self.maj(a, b, c))
 
     # ------------------------------------------------------------------ #
-    # Inspection
+    # Kernel hooks (majority semantics)
     # ------------------------------------------------------------------ #
-    @property
-    def num_pis(self) -> int:
-        return len(self._pis)
-
-    @property
-    def num_pos(self) -> int:
-        return len(self._pos)
-
-    @property
-    def num_gates(self) -> int:
-        """Number of live majority nodes (the *size* metric of the paper)."""
-        return self._num_gates
-
-    @property
-    def size(self) -> int:
-        """Alias for :attr:`num_gates`."""
-        return self._num_gates
-
-    @property
-    def num_nodes(self) -> int:
-        """Total allocated node slots (including constant, PIs and dead nodes)."""
-        return len(self._fanins)
-
-    def pi_nodes(self) -> List[int]:
-        return list(self._pis)
-
-    def pi_signals(self) -> List[int]:
-        return [make_signal(n) for n in self._pis]
-
-    def po_signals(self) -> List[int]:
-        return list(self._pos)
-
-    def pi_names(self) -> List[str]:
-        return list(self._pi_names)
-
-    def po_names(self) -> List[str]:
-        return list(self._po_names)
-
-    def pi_name(self, index: int) -> str:
-        return self._pi_names[index]
-
-    def po_name(self, index: int) -> str:
-        return self._po_names[index]
-
-    def pi_index(self, node: int) -> int:
-        """Return the PI index of ``node`` (raises if not a PI)."""
-        return self._pis.index(node)
-
-    def set_po(self, index: int, signal: int) -> None:
-        """Redirect an already-registered primary output."""
-        self._validate_signal(signal)
-        old = self._pos[index]
-        self._pos[index] = signal
-        self._ref[node_of(signal)] += 1
-        self._deref(node_of(old))
-
-    def is_constant(self, node: int) -> bool:
-        return node == CONST_NODE
-
-    def is_pi(self, node: int) -> bool:
-        return self._fanins[node] is None and node != CONST_NODE
-
     def is_maj(self, node: int) -> bool:
         return self._fanins[node] is not None
 
-    def is_dead(self, node: int) -> bool:
-        return self._dead[node]
+    def _gate_simplify(self, fanins: Tuple[int, ...]) -> Optional[int]:
+        return _simplify_maj(*fanins)
 
-    def fanins(self, node: int) -> Tuple[int, int, int]:
-        """Return the three fanin signals of a majority node."""
-        fanins = self._fanins[node]
-        if fanins is None:
-            raise ValueError(f"node {node} is not a majority node")
-        return fanins
+    def _strash_candidates(
+        self, fanins: Tuple[int, ...]
+    ) -> Iterable[Tuple[Tuple[int, ...], bool]]:
+        yield tuple(sorted(fanins)), False
+        yield tuple(sorted(f ^ 1 for f in fanins)), True
 
-    def fanout_nodes(self, node: int) -> List[int]:
-        """Return the live gate nodes that reference ``node`` as a fanin."""
-        return [n for n in self._fanouts[node] if not self._dead[n]]
+    def _gate_key(self, fanins: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(sorted(fanins))
 
-    def fanout_size(self, node: int) -> int:
-        """Number of references (fanin edges plus primary outputs)."""
-        return self._ref[node]
+    def _eval_gate(self, values: List[int], fanins: Tuple[int, ...], mask: int) -> int:
+        a, b, c = fanins
+        va = self._edge_value(values, a, mask)
+        vb = self._edge_value(values, b, mask)
+        vc = self._edge_value(values, c, mask)
+        return (va & vb) | (va & vc) | (vb & vc)
 
-    def gates(self) -> Iterator[int]:
-        """Iterate over live majority nodes (no particular order)."""
-        for node in range(1, len(self._fanins)):
-            if self._fanins[node] is not None and not self._dead[node]:
-                yield node
-
-    def nodes(self) -> Iterator[int]:
-        """Iterate over all live nodes: constant, PIs, then gates."""
-        for node in range(len(self._fanins)):
-            if not self._dead[node]:
-                yield node
-
-    # ------------------------------------------------------------------ #
-    # Topology, levels, depth
-    # ------------------------------------------------------------------ #
-    def topological_order(self) -> List[int]:
-        """Live gate nodes in topological order (fanins before fanouts).
-
-        Only nodes in the transitive fanin of a primary output are
-        included, which matches the *size* accounting of the paper
-        (dangling nodes are removed by :meth:`cleanup`).
-        """
-        order: List[int] = []
-        visited = [False] * len(self._fanins)
-        for node in self._pis:
-            visited[node] = True
-        visited[CONST_NODE] = True
-
-        for po in self._pos:
-            root = node_of(po)
-            if visited[root]:
-                continue
-            stack: List[Tuple[int, bool]] = [(root, False)]
-            while stack:
-                node, expanded = stack.pop()
-                if expanded:
-                    order.append(node)
-                    continue
-                if visited[node]:
-                    continue
-                visited[node] = True
-                stack.append((node, True))
-                for f in self._fanins[node]:
-                    fn = node_of(f)
-                    if not visited[fn] and self._fanins[fn] is not None:
-                        stack.append((fn, False))
-        return order
-
-    def levels(self) -> List[int]:
-        """Return per-node logic levels (PIs and constant at level 0)."""
-        level = [0] * len(self._fanins)
-        for node in self.topological_order():
-            level[node] = 1 + max(level[node_of(f)] for f in self._fanins[node])
-        return level
-
-    def depth(self) -> int:
-        """Depth of the network: the paper's *delay* proxy."""
-        if not self._pos:
-            return 0
-        level = self.levels()
-        return max(level[node_of(po)] for po in self._pos)
-
-    def critical_nodes(self) -> List[int]:
-        """Gate nodes lying on at least one maximum-depth path."""
-        level = self.levels()
-        depth = self.depth()
-        if depth == 0:
-            return []
-        required: Dict[int, int] = {}
-        for po in self._pos:
-            n = node_of(po)
-            if level[n] == depth:
-                required[n] = depth
-        result: List[int] = []
-        order = self.topological_order()
-        for node in reversed(order):
-            if node not in required:
-                continue
-            result.append(node)
-            req = required[node]
-            for f in self._fanins[node]:
-                fn = node_of(f)
-                if self._fanins[fn] is not None and level[fn] == req - 1:
-                    prev = required.get(fn, -1)
-                    required[fn] = max(prev, req - 1)
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Simulation
-    # ------------------------------------------------------------------ #
-    def simulate_patterns(self, pi_patterns: Sequence[int], num_bits: int) -> List[int]:
-        """Bit-parallel simulation.
-
-        ``pi_patterns[i]`` is an integer whose ``num_bits`` low bits are the
-        stimulus of the ``i``-th primary input.  Returns one pattern per
-        primary output.
-        """
-        if len(pi_patterns) != len(self._pis):
-            raise ValueError(
-                f"expected {len(self._pis)} PI patterns, got {len(pi_patterns)}"
-            )
-        mask = (1 << num_bits) - 1
-        values = [0] * len(self._fanins)
-        for node, pattern in zip(self._pis, pi_patterns):
-            values[node] = pattern & mask
-
-        for node in self.topological_order():
-            a, b, c = self._fanins[node]
-            va = self._edge_value(values, a, mask)
-            vb = self._edge_value(values, b, mask)
-            vc = self._edge_value(values, c, mask)
-            values[node] = (va & vb) | (va & vc) | (vb & vc)
-
-        outputs = []
-        for po in self._pos:
-            outputs.append(self._edge_value(values, po, mask))
-        return outputs
-
-    def simulate(self, assignment: Sequence[bool]) -> List[bool]:
-        """Simulate a single input assignment; returns PO boolean values."""
-        patterns = [1 if bit else 0 for bit in assignment]
-        outputs = self.simulate_patterns(patterns, 1)
-        return [bool(o & 1) for o in outputs]
-
-    def truth_tables(self) -> List[int]:
-        """Exhaustive truth tables of all POs (requires ≤ 20 inputs)."""
-        n = len(self._pis)
-        if n > 20:
-            raise ValueError("exhaustive simulation limited to 20 inputs")
-        num_bits = 1 << n
-        patterns = []
-        for i in range(n):
-            block = (1 << (1 << i)) - 1
-            pattern = 0
-            period = 1 << (i + 1)
-            for start in range(1 << i, num_bits, period):
-                pattern |= block << start
-            patterns.append(pattern)
-        return self.simulate_patterns(patterns, num_bits)
-
-    @staticmethod
-    def _edge_value(values: List[int], signal: int, mask: int) -> int:
-        v = values[node_of(signal)]
-        return (~v) & mask if is_complemented(signal) else v
-
-    # ------------------------------------------------------------------ #
-    # In-place manipulation (the engine behind Ω / Ψ rule application)
-    # ------------------------------------------------------------------ #
-    def substitute(self, old_node: int, new_signal: int) -> bool:
-        """Replace every reference to ``old_node`` with ``new_signal``.
-
-        Cascading effects (structural-hash hits and Ω.M simplifications in
-        the fanout nodes) are propagated automatically.  Returns ``False``
-        (and does nothing) if the substitution would create a cycle, i.e.
-        if ``old_node`` lies in the transitive fanin of ``new_signal``.
-        """
-        if old_node == CONST_NODE and new_signal in (CONST_FALSE, CONST_TRUE):
-            return True
-        if node_of(new_signal) == old_node:
-            return True
-        if self._in_tfi(old_node, node_of(new_signal)):
-            return False
-
-        # Replacement signals sitting in the queue are reference-protected so
-        # that unrelated cascade steps cannot reclaim them before their turn.
-        queue: deque = deque()
-
-        def enqueue(old: int, new: int) -> None:
-            self._ref[node_of(new)] += 1
-            queue.append((old, new))
-
-        enqueue(old_node, new_signal)
-        while queue:
-            old, new = queue.popleft()
-            new_node = node_of(new)
-            if not self._dead[old] and new_node != old:
-                # Redirect primary outputs.
-                for index, po in enumerate(self._pos):
-                    if node_of(po) == old:
-                        replacement = negate_if(new, is_complemented(po))
-                        self._pos[index] = replacement
-                        self._ref[node_of(replacement)] += 1
-                        self._ref[old] -= 1
-                # Redirect fanouts.
-                for parent in list(self._fanouts[old]):
-                    if self._dead[parent] or old not in {
-                        node_of(f) for f in self._fanins[parent]
-                    }:
-                        self._fanouts[old].discard(parent)
-                        continue
-                    collapse = self._replace_in_node(parent, old, new)
-                    if collapse is not None and node_of(collapse) != old:
-                        enqueue(parent, collapse)
-            # Release the protection reference of this queue entry.
-            self._deref(new_node)
-            # Remove the now-unreferenced node.
-            if not self._dead[old] and self._ref[old] == 0 and self.is_maj(old):
-                self._take_out(old)
-        return True
-
-    def _replace_in_node(self, parent: int, old: int, new: int) -> Optional[int]:
-        """Rewrite the fanins of ``parent`` replacing node ``old`` by ``new``.
-
-        Returns a signal when ``parent`` itself collapses (its rewritten
-        fanin triple simplifies or hits the structural hash table), in which
-        case the caller must substitute ``parent`` by the returned signal.
-        Returns ``None`` when ``parent`` was updated in place.
-        """
-        old_fanins = self._fanins[parent]
-        new_fanins = tuple(
-            negate_if(new, is_complemented(f)) if node_of(f) == old else f
-            for f in old_fanins
-        )
-        if new_fanins == old_fanins:
-            return None
-
-        simplified = _simplify_maj(*new_fanins)
-        if simplified is not None:
-            return simplified
-
-        key = tuple(sorted(new_fanins))
-        existing = self._strash.get(key)
-        if existing is not None and existing != parent and not self._dead[existing]:
-            return make_signal(existing)
-        neg_key = tuple(sorted(negate(f) for f in new_fanins))
-        existing_neg = self._strash.get(neg_key)
-        if existing_neg is not None and existing_neg != parent and not self._dead[existing_neg]:
-            return make_signal(existing_neg, True)
-
-        # In-place update of the parent node.
-        old_key = tuple(sorted(old_fanins))
-        if self._strash.get(old_key) == parent:
-            del self._strash[old_key]
-        self._strash[key] = parent
-        self._retarget_fanins(parent, old_fanins, key)
-        return None
-
-    def _retarget_fanins(
-        self, parent: int, old_fanins: Tuple[int, int, int], new_fanins: Tuple[int, int, int]
-    ) -> None:
-        """Swap the fanin triple of ``parent`` keeping ref counts consistent.
-
-        New references are added *before* old ones are released so that a
-        node shared between the two triples (directly or through a dying
-        fanin's cone) can never be reclaimed transiently.
-        """
-        new_nodes = [node_of(f) for f in new_fanins]
-        for fn in new_nodes:
-            self._ref[fn] += 1
-            self._fanouts[fn].add(parent)
-        self._fanins[parent] = new_fanins
-        new_set = set(new_nodes)
-        for f in old_fanins:
-            fn = node_of(f)
-            self._ref[fn] -= 1
-            if fn not in new_set:
-                self._fanouts[fn].discard(parent)
-            if self._ref[fn] == 0 and self.is_maj(fn) and not self._dead[fn]:
-                self._take_out(fn)
-
-    def replace_fanins(self, node: int, fanins: Tuple[int, int, int]) -> Optional[int]:
-        """Low-level helper used by rewrite rules to retarget a node's fanins.
-
-        The fanins are simplified/strashed like in :meth:`maj`; if the new
-        triple collapses onto an existing signal, that signal is returned
-        and the node is substituted by it; otherwise ``None`` is returned.
-        """
-        for s in fanins:
-            self._validate_signal(s)
-        old_fanins = self._fanins[node]
-        if old_fanins is None:
-            raise ValueError(f"node {node} is not a majority node")
-        if tuple(sorted(fanins)) == tuple(sorted(old_fanins)):
-            return None
-        for s in fanins:
-            if self._in_tfi(node, node_of(s)):
-                raise ValueError("replace_fanins would create a combinational cycle")
-
-        simplified = _simplify_maj(*fanins)
-        if simplified is not None:
-            self.substitute(node, simplified)
-            return simplified
-
-        key = tuple(sorted(fanins))
-        existing = self._strash.get(key)
-        if existing is not None and existing != node and not self._dead[existing]:
-            self.substitute(node, make_signal(existing))
-            return make_signal(existing)
-
-        old_key = tuple(sorted(old_fanins))
-        if self._strash.get(old_key) == node:
-            del self._strash[old_key]
-        self._strash[key] = node
-        self._retarget_fanins(node, old_fanins, key)
-        return None
-
-    def cleanup(self) -> int:
-        """Remove dangling nodes (no fanout, not driving a PO). Returns count."""
-        removed = 0
-        changed = True
-        while changed:
-            changed = False
-            for node in range(1, len(self._fanins)):
-                if (
-                    self._fanins[node] is not None
-                    and not self._dead[node]
-                    and self._ref[node] == 0
-                ):
-                    self._take_out(node)
-                    removed += 1
-                    changed = True
-        return removed
-
-    # ------------------------------------------------------------------ #
-    # Copy / rebuild
-    # ------------------------------------------------------------------ #
-    def copy(self) -> "Mig":
-        """Return a compact, strashed copy containing only live logic."""
-        other = Mig()
-        other.name = self.name
-        mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
-        for node, name in zip(self._pis, self._pi_names):
-            mapping[node] = other.add_pi(name)
-        for node in self.topological_order():
-            a, b, c = self._fanins[node]
-            mapping[node] = other.maj(
-                negate_if(mapping[node_of(a)], is_complemented(a)),
-                negate_if(mapping[node_of(b)], is_complemented(b)),
-                negate_if(mapping[node_of(c)], is_complemented(c)),
-            )
-        for po, name in zip(self._pos, self._po_names):
-            other.add_po(negate_if(mapping[node_of(po)], is_complemented(po)), name)
-        return other
-
-    def check_integrity(self) -> None:
-        """Validate internal invariants; raises ``AssertionError`` on corruption.
-
-        Intended for tests and debugging: checks that live nodes only point
-        at live nodes, that reference counts match the actual number of
-        fanin/PO references and that fanout sets are consistent.
-        """
-        expected_refs = [0] * len(self._fanins)
-        for node in range(len(self._fanins)):
-            if self._dead[node] or self._fanins[node] is None:
-                continue
-            for f in self._fanins[node]:
-                fn = node_of(f)
-                assert not self._dead[fn], (
-                    f"live node {node} has dead fanin node {fn}"
-                )
-                expected_refs[fn] += 1
-                assert node in self._fanouts[fn], (
-                    f"fanout set of {fn} misses parent {node}"
-                )
-        for po in self._pos:
-            fn = node_of(po)
-            assert not self._dead[fn], f"primary output references dead node {fn}"
-            expected_refs[fn] += 1
-        for node in range(len(self._fanins)):
-            if self._dead[node]:
-                continue
-            assert self._ref[node] == expected_refs[node], (
-                f"node {node}: ref count {self._ref[node]} != expected "
-                f"{expected_refs[node]}"
-            )
-
-    def assign_from(self, other: "Mig") -> None:
-        """Replace the contents of this network with a copy of ``other``.
-
-        Used by the optimizers to roll back to the best intermediate result
-        when a speculative reshape cycle did not pay off.
-        """
-        clone = other.copy()
-        self._fanins = clone._fanins
-        self._dead = clone._dead
-        self._ref = clone._ref
-        self._fanouts = clone._fanouts
-        self._pis = clone._pis
-        self._pi_names = clone._pi_names
-        self._pos = clone._pos
-        self._po_names = clone._po_names
-        self._strash = clone._strash
-        self._num_gates = clone._num_gates
-        self.name = clone.name
+    def _build_gate(self, fanins: Tuple[int, ...]) -> int:
+        return self.maj(*fanins)
 
     # ------------------------------------------------------------------ #
     # Debugging helpers
@@ -687,68 +195,6 @@ class Mig:
             f"Mig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
             f"gates={self.num_gates}, depth={self.depth()})"
         )
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _allocate_node(self, fanins: Optional[Tuple[int, int, int]]) -> int:
-        node = len(self._fanins)
-        self._fanins.append(fanins)
-        self._dead.append(False)
-        self._ref.append(0)
-        self._fanouts.append(set())
-        return node
-
-    def _validate_signal(self, signal: int) -> None:
-        node = node_of(signal)
-        if node >= len(self._fanins) or node < 0:
-            raise ValueError(f"signal {signal_repr(signal)} references unknown node")
-        if self._dead[node]:
-            raise ValueError(f"signal {signal_repr(signal)} references a dead node")
-
-    def _deref(self, node: int) -> None:
-        self._ref[node] -= 1
-        if self._ref[node] == 0 and self.is_maj(node) and not self._dead[node]:
-            self._take_out(node)
-
-    def _take_out(self, node: int) -> None:
-        """Remove a dead majority node and recursively release its fanins."""
-        if self._dead[node] or self._fanins[node] is None:
-            return
-        self._dead[node] = True
-        self._num_gates -= 1
-        key = tuple(sorted(self._fanins[node]))
-        if self._strash.get(key) == node:
-            del self._strash[key]
-        for f in self._fanins[node]:
-            fn = node_of(f)
-            self._fanouts[fn].discard(node)
-            self._ref[fn] -= 1
-            if self._ref[fn] == 0 and self.is_maj(fn) and not self._dead[fn]:
-                self._take_out(fn)
-        self._fanouts[node] = set()
-
-    def _in_tfi(self, target: int, start: int) -> bool:
-        """Return True when ``target`` is in the transitive fanin of ``start``."""
-        if target == start:
-            return True
-        if self._fanins[start] is None:
-            return False
-        seen = {start}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            fanins = self._fanins[node]
-            if fanins is None:
-                continue
-            for f in fanins:
-                fn = node_of(f)
-                if fn == target:
-                    return True
-                if fn not in seen:
-                    seen.add(fn)
-                    stack.append(fn)
-        return False
 
 
 # ---------------------------------------------------------------------- #

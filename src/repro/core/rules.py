@@ -20,6 +20,7 @@ to reclaim them, exactly like the "elimination" step of Algorithms 1 and 2.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .mig import Mig
@@ -55,13 +56,17 @@ def effective_fanins(mig: Mig, edge: int) -> Optional[Tuple[int, int, int]]:
     (axiom Ω.I), so the returned triple always satisfies
     ``edge ≡ M(returned fanins)``.  Returns ``None`` when the edge does not
     point at a majority gate.
+
+    This is the innermost helper of every rewrite rule, so it reads the
+    kernel's fanin store directly instead of going through the accessor
+    methods.
     """
-    node = node_of(edge)
-    if not mig.is_maj(node):
+    fanins = mig._fanins[edge >> 1]
+    if fanins is None:
         return None
-    fanins = mig.fanins(node)
-    if is_complemented(edge):
-        return tuple(negate(f) for f in fanins)
+    if edge & 1:
+        a, b, c = fanins
+        return (a ^ 1, b ^ 1, c ^ 1)
     return fanins
 
 
@@ -71,27 +76,29 @@ def cone_nodes(mig: Mig, root: int, bound: int) -> Optional[List[int]]:
     The result is in topological order (fanins first).  Returns ``None``
     when the cone contains more than ``bound`` gates.
     """
-    root_node = node_of(root)
-    if not mig.is_maj(root_node):
+    fanins_store = mig._fanins
+    root_node = root >> 1
+    if fanins_store[root_node] is None:
         return []
     order: List[int] = []
     visited = set()
-    stack: List[Tuple[int, bool]] = [(root_node, False)]
+    # Post-order DFS; ``~node`` marks the emit-after-children visit.
+    stack = [root_node]
     while stack:
-        node, expanded = stack.pop()
-        if expanded:
-            order.append(node)
+        node = stack.pop()
+        if node < 0:
+            order.append(~node)
             if len(order) > bound:
                 return None
             continue
         if node in visited:
             continue
         visited.add(node)
-        stack.append((node, True))
-        for f in mig.fanins(node):
-            fn = node_of(f)
-            if mig.is_maj(fn) and fn not in visited:
-                stack.append((fn, False))
+        stack.append(~node)
+        for f in fanins_store[node]:
+            fn = f >> 1
+            if fanins_store[fn] is not None and fn not in visited:
+                stack.append(fn)
     return order
 
 
@@ -134,6 +141,9 @@ def rebuild_cone(
 
 
 def _level_of(levels: Sequence[int], signal: int) -> int:
+    # NOTE: the hot rules (try_associativity, try_distributivity_lr) inline
+    # this expression to avoid the call overhead in their inner loops; keep
+    # the inlined copies in sync with any change to this convention.
     node = node_of(signal)
     if node < len(levels):
         return levels[node]
@@ -148,13 +158,24 @@ def _level_of(levels: Sequence[int], signal: int) -> int:
 def sweep_majority(mig: Mig) -> int:
     """Apply Ω.M left-to-right over the whole network.
 
-    Node creation already performs these simplifications, but in-place
-    fanin updates during substitution can occasionally leave a node whose
-    stored triple became reducible.  Returns the number of nodes removed.
+    Node creation already performs these simplifications, so only nodes
+    whose stored triple was rewritten in place by a substitution can have
+    become reducible.  The kernel tracks exactly those in its ``_touched``
+    set, which this sweep drains in ascending node order — the same visit
+    order (and therefore the same result) as a full scan, at a fraction of
+    the cost.  A node retargeted *behind* the sweep cursor stays in the set
+    and is picked up by the next sweep, again matching the full-scan
+    behaviour.  Returns the number of nodes removed.
     """
     removed = 0
-    for node in list(mig.gates()):
-        if mig.is_dead(node):
+    touched = mig._touched
+    heap = sorted(touched)
+    in_heap = set(heap)
+    while heap:
+        node = heapq.heappop(heap)
+        in_heap.discard(node)
+        touched.discard(node)
+        if mig.is_dead(node) or not mig.is_maj(node):
             continue
         a, b, c = mig.fanins(node)
         replacement = None
@@ -170,6 +191,12 @@ def sweep_majority(mig: Mig) -> int:
             replacement = a
         if replacement is not None and mig.substitute(node, replacement):
             removed += 1
+            # The substitution may have retargeted nodes ahead of the
+            # cursor; merge them into this sweep like a full scan would.
+            for t in touched:
+                if t > node and t not in in_heap:
+                    heapq.heappush(heap, t)
+                    in_heap.add(t)
     return removed
 
 
@@ -220,20 +247,35 @@ def try_distributivity_lr(
         return False
     fanins = mig.fanins(node)
     best = None
+    num_levels = len(levels)
     for k in range(3):
         child = effective_fanins(mig, fanins[k])
         if child is None:
             continue
         x, y = (fanins[m] for m in range(3) if m != k)
-        # Choose the deepest child fanin as the critical variable z.
-        child_sorted = sorted(child, key=lambda s: _level_of(levels, s))
-        u, v, z = child_sorted[0], child_sorted[1], child_sorted[2]
-        old_level = 2 + _level_of(levels, z)
-        new_level = 1 + max(
-            1 + max(_level_of(levels, x), _level_of(levels, y), _level_of(levels, u)),
-            1 + max(_level_of(levels, x), _level_of(levels, y), _level_of(levels, v)),
-            _level_of(levels, z),
+        # Choose the deepest child fanin as the critical variable z
+        # (levels of nodes created after the snapshot count as deep).
+        child_sorted = sorted(
+            child, key=lambda s: levels[s >> 1] if s >> 1 < num_levels else num_levels
         )
+        u, v, z = child_sorted[0], child_sorted[1], child_sorted[2]
+        lx = levels[x >> 1] if x >> 1 < num_levels else num_levels
+        ly = levels[y >> 1] if y >> 1 < num_levels else num_levels
+        lu = levels[u >> 1] if u >> 1 < num_levels else num_levels
+        lv = levels[v >> 1] if v >> 1 < num_levels else num_levels
+        lz = levels[z >> 1] if z >> 1 < num_levels else num_levels
+        old_level = 2 + lz
+        outer = lx if lx > ly else ly
+        if lu > outer:
+            inner_u = lu
+        else:
+            inner_u = outer
+        if lv > outer:
+            inner_v = lv
+        else:
+            inner_v = outer
+        deepest = inner_u if inner_u > inner_v else inner_v
+        new_level = 1 + max(1 + deepest, lz)
         if new_level >= old_level:
             continue
         if not allow_area_increase and mig.fanout_size(node_of(fanins[k])) > 1:
@@ -266,6 +308,7 @@ def try_associativity(
     if levels is None:
         levels = mig.levels()
     fanins = mig.fanins(node)
+    num_levels = len(levels)
     for k in range(3):
         child = effective_fanins(mig, fanins[k])
         if child is None:
@@ -279,10 +322,14 @@ def try_associativity(
             if len(inner_rest) != 2:
                 continue
             y, z = inner_rest
-            # Pick the deeper of the two candidates for promotion.
-            if _level_of(levels, y) > _level_of(levels, z):
+            # Pick the deeper of the two candidates for promotion (levels
+            # of nodes created after the snapshot count as deep).
+            ly = levels[y >> 1] if y >> 1 < num_levels else num_levels
+            lz = levels[z >> 1] if z >> 1 < num_levels else num_levels
+            if ly > lz:
                 y, z = z, y
-            if _level_of(levels, z) <= _level_of(levels, x):
+                lz = ly
+            if lz <= (levels[x >> 1] if x >> 1 < num_levels else num_levels):
                 continue
             replacement = mig.maj(z, u, mig.maj(y, u, x))
             if mig.substitute(node, replacement):

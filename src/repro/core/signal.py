@@ -25,6 +25,7 @@ __all__ = [
     "regular",
     "complemented",
     "signal_repr",
+    "sort_signals",
     "CONST_FALSE",
     "CONST_TRUE",
     "CONST_NODE",

@@ -1,6 +1,31 @@
-"""Experiment flows: MIGhty, AIG baseline, BDD baseline, synthesis, reports."""
+"""Experiment flows, declared as pass pipelines over the flow engine.
 
-from .mighty import MightyResult, mighty_optimize
+:mod:`repro.flows.engine` provides the pass-manager substrate (named,
+composable passes with per-pass size/depth/activity/runtime metrics);
+:mod:`repro.flows.mighty` declares the paper's MIGhty flow on top of it;
+:mod:`repro.flows.optimize` and :mod:`repro.flows.synthesis` run the
+Table I experiments; :mod:`repro.flows.report` formats the tables and
+serialises the per-pass metrics for the benchmark harness.
+"""
+
+from .engine import (
+    ActivityOpt,
+    Balance,
+    Cleanup,
+    DepthOpt,
+    Eliminate,
+    FlowResult,
+    FunctionPass,
+    Pass,
+    PassMetrics,
+    Pipeline,
+    RebuildPass,
+    Repeat,
+    Reshape,
+    SizeOpt,
+    run_rebuild_chain,
+)
+from .mighty import MightyResult, mighty_optimize, mighty_pipeline
 from .optimize import (
     OptimizationComparison,
     compare_optimization,
@@ -11,8 +36,10 @@ from .optimize import (
 )
 from .report import (
     format_optimization_table,
+    format_pass_metrics,
     format_synthesis_table,
     optimization_space_points,
+    pass_metrics_to_json,
     summarize_optimization,
     summarize_synthesis,
     synthesis_space_points,
@@ -28,14 +55,34 @@ from .synthesis import (
 )
 
 __all__ = [
+    # engine
+    "Pass",
+    "FunctionPass",
+    "RebuildPass",
+    "Pipeline",
+    "Repeat",
+    "run_rebuild_chain",
+    "PassMetrics",
+    "FlowResult",
+    "Balance",
+    "DepthOpt",
+    "SizeOpt",
+    "Eliminate",
+    "Reshape",
+    "ActivityOpt",
+    "Cleanup",
+    # mighty
     "mighty_optimize",
+    "mighty_pipeline",
     "MightyResult",
+    # optimization experiment
     "compare_optimization",
     "run_optimization_experiment",
     "run_mig_optimization",
     "run_aig_optimization",
     "run_bdd_optimization",
     "OptimizationComparison",
+    # synthesis experiment
     "compare_synthesis",
     "run_synthesis_experiment",
     "run_mig_synthesis",
@@ -43,8 +90,11 @@ __all__ = [
     "run_cst_synthesis",
     "SynthesisComparison",
     "SynthesisMetrics",
+    # reporting
     "format_optimization_table",
     "format_synthesis_table",
+    "format_pass_metrics",
+    "pass_metrics_to_json",
     "summarize_optimization",
     "summarize_synthesis",
     "optimization_space_points",

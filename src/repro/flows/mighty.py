@@ -1,24 +1,45 @@
 """The MIGhty optimization flow (Section V-A methodology).
 
 The paper's experiments run "depth-optimization interlaced with size and
-activity recovery phases".  This module packages exactly that recipe on top
-of the Algorithm 1 / Algorithm 2 implementations so the experiment harness,
-the examples and downstream users all run the same flow.
+activity recovery phases".  This module declares exactly that recipe as a
+pass pipeline over the flow engine (:mod:`repro.flows.engine`)::
+
+    Pipeline([
+        Balance(),
+        Repeat([DepthOpt(effort), SizeOpt(effort), Eliminate(), Balance()],
+               rounds=rounds),
+    ])
+
+so the experiment harness, the examples and downstream users all run the
+same flow — and all get the engine's per-pass size/depth/runtime metrics
+for free (see :attr:`MightyResult.pass_metrics` and the serialisation
+helpers in :mod:`repro.flows.report`).
+
+Balancing commits its rebuilt candidate only when it *strictly* improves
+the ``(depth, size)`` order; a candidate that merely ties no longer
+replaces the network (which used to cost a full copy for zero gain).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Mapping, Optional
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
 
-from ..core.balance import balance_mig
-from ..core.depth_opt import optimize_depth
 from ..core.mig import Mig
 from ..core.reshape import ReshapeParams
-from ..core.size_opt import eliminate, optimize_size
+from .engine import (
+    Balance,
+    DepthOpt,
+    Eliminate,
+    Pass,
+    PassMetrics,
+    Pipeline,
+    Repeat,
+    SizeOpt,
+)
 
-__all__ = ["MightyResult", "mighty_optimize"]
+__all__ = ["MightyResult", "mighty_optimize", "mighty_pipeline"]
 
 
 @dataclass
@@ -31,6 +52,40 @@ class MightyResult:
     final_depth: int
     rounds: int
     runtime_s: float
+    pass_metrics: List[PassMetrics] = field(default_factory=list)
+
+
+def mighty_pipeline(
+    rounds: int = 2,
+    depth_effort: int = 2,
+    size_effort: int = 1,
+    activity_recovery: bool = True,
+    reshape_params: Optional[ReshapeParams] = None,
+) -> Pipeline:
+    """Build the MIGhty flow as a declarative pass pipeline.
+
+    Each round performs depth optimization (Algorithm 2), then a size
+    recovery phase (Algorithm 1 with low effort), then an optional
+    activity recovery phase (a cheap elimination pass that keeps the size
+    in check after the depth-oriented duplication), then re-balances.
+    Rounds stop early when neither depth nor size improves.  The leading
+    balance (closed-form Ω.A) gives the majority-specific depth moves a
+    well-conditioned starting point.
+    """
+    round_passes: List[Pass] = [
+        DepthOpt(effort=depth_effort, reshape_params=reshape_params),
+        SizeOpt(effort=size_effort, reshape_params=reshape_params),
+    ]
+    if activity_recovery:
+        round_passes.append(Eliminate())
+    round_passes.append(Balance())
+    return Pipeline(
+        [
+            Balance(),
+            Repeat(round_passes, rounds=max(1, rounds), name="mighty_round"),
+        ],
+        name="mighty",
+    )
 
 
 def mighty_optimize(
@@ -42,48 +97,28 @@ def mighty_optimize(
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
 ) -> MightyResult:
-    """Run the MIGhty delay-oriented flow in place.
-
-    Each round performs depth optimization (Algorithm 2), then a size
-    recovery phase (Algorithm 1 with low effort), then an optional activity
-    recovery phase (the probability-shaping step of Section IV-C with a
-    small candidate budget).  Rounds stop early when neither depth nor size
-    improves.
-    """
+    """Run the MIGhty delay-oriented flow in place."""
     start = time.perf_counter()
-    initial_size = mig.num_gates
-    initial_depth = mig.depth()
-    executed = 0
+    pipeline = mighty_pipeline(
+        rounds=rounds,
+        depth_effort=depth_effort,
+        size_effort=size_effort,
+        activity_recovery=activity_recovery,
+        reshape_params=reshape_params,
+    )
+    result = pipeline.run(mig)
 
-    # Associative balancing (closed-form Ω.A) gives the majority-specific
-    # depth moves a well-conditioned starting point.
-    balanced = balance_mig(mig)
-    if (balanced.depth(), balanced.num_gates) <= (mig.depth(), mig.num_gates):
-        mig.assign_from(balanced)
-
-    for _ in range(max(1, rounds)):
-        executed += 1
-        depth_before = mig.depth()
-        size_before = mig.num_gates
-
-        optimize_depth(mig, effort=depth_effort, reshape_params=reshape_params)
-        optimize_size(mig, effort=size_effort, reshape_params=reshape_params)
-        if activity_recovery:
-            # Cheap recovery: one more elimination pass keeps the size in
-            # check after the depth-oriented duplication.
-            eliminate(mig)
-        rebalanced = balance_mig(mig)
-        if (rebalanced.depth(), rebalanced.num_gates) <= (mig.depth(), mig.num_gates):
-            mig.assign_from(rebalanced)
-
-        if mig.depth() >= depth_before and mig.num_gates >= size_before:
-            break
+    executed = 1
+    for metrics in result.passes:
+        if metrics.name == "mighty_round":
+            executed = int(metrics.details.get("rounds", 1))
 
     return MightyResult(
-        initial_size=initial_size,
-        initial_depth=initial_depth,
-        final_size=mig.num_gates,
-        final_depth=mig.depth(),
+        initial_size=result.initial_size,
+        initial_depth=result.initial_depth,
+        final_size=result.final_size,
+        final_depth=result.final_depth,
         rounds=executed,
         runtime_s=time.perf_counter() - start,
+        pass_metrics=result.passes,
     )

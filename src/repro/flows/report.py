@@ -4,14 +4,22 @@ The benchmark harness prints the same rows the paper reports: per-benchmark
 size / depth / activity / runtime for the three optimization flows, and
 area / delay / power for the three synthesis flows, followed by the
 averages and the headline relative improvements quoted in the abstract.
+
+Because every flow now runs on the pass-manager engine, this module also
+serialises the engine's per-pass metrics traces:
+:func:`format_pass_metrics` renders a fixed-width table of one trace and
+:func:`pass_metrics_to_json` emits the JSON records the benchmark harness
+persists next to the headline numbers.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..analysis.metrics import geometric_improvement
+from .engine import PassMetrics
 from .optimize import OptimizationComparison
 from .synthesis import SynthesisComparison
 
@@ -22,6 +30,8 @@ __all__ = [
     "summarize_synthesis",
     "format_optimization_table",
     "format_synthesis_table",
+    "format_pass_metrics",
+    "pass_metrics_to_json",
     "optimization_space_points",
     "synthesis_space_points",
 ]
@@ -202,6 +212,46 @@ def format_synthesis_table(results: Sequence[SynthesisComparison]) -> str:
         f"(paper: -22% / -14% / -11%; negative = MIG smaller)"
     )
     return "\n".join(lines)
+
+
+def format_pass_metrics(passes: Sequence[PassMetrics], title: str = "") -> str:
+    """Render one per-pass metrics trace as a fixed-width table."""
+    header = (
+        f"{'Pass':<14s} {'size':>7s} {'->':>2s} {'size':>7s} "
+        f"{'depth':>5s} {'->':>2s} {'depth':>5s} {'time[s]':>8s}  details"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for m in passes:
+        details = ", ".join(f"{k}={v}" for k, v in sorted(m.details.items()))
+        lines.append(
+            f"{m.name:<14s} {m.size_before:>7d} {'':>2s} {m.size_after:>7d} "
+            f"{m.depth_before:>5d} {'':>2s} {m.depth_after:>5d} "
+            f"{m.runtime_s:>8.3f}  {details}"
+        )
+    return "\n".join(lines)
+
+
+def pass_metrics_to_json(
+    passes: Sequence[PassMetrics], flow: Optional[str] = None, indent: Optional[int] = None
+) -> str:
+    """Serialise a per-pass metrics trace as JSON for the benchmark harness.
+
+    The result is a JSON array of one record per pass (see
+    :meth:`~repro.flows.engine.PassMetrics.as_dict`); when ``flow`` is
+    given, every record is tagged with it so traces from several flows can
+    be concatenated into one file.
+    """
+    records = []
+    for m in passes:
+        record = m.as_dict()
+        if flow is not None:
+            record["flow"] = flow
+        records.append(record)
+    return json.dumps(records, indent=indent, sort_keys=True)
 
 
 def optimization_space_points(results: Sequence[OptimizationComparison]) -> Dict[str, tuple]:

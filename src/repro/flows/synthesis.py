@@ -1,18 +1,21 @@
 """The synthesis experiment of Table I (bottom half) and Fig. 4.
 
 Every benchmark goes through three optimization-mapping flows that share
-the same standard-cell library and (for MIG and AIG) the same mapper:
+the same standard-cell library and (for MIG and AIG) the same mapper.
+The optimization stage of each flow is a pass pipeline over the flow
+engine (:mod:`repro.flows.engine`), so every synthesis row can also
+report its optimization-stage per-pass metrics (``opt_passes``):
 
 ``MIG + Tech. Map.``
-    MIGhty optimization followed by the structural mapper.
+    The MIGhty pipeline followed by the structural mapper.
 ``AIG + Tech. Map.``
-    resyn2-style AIG optimization followed by the same mapper.
+    The resyn2-style rebuild chain followed by the same mapper.
 ``CST``
     The "commercial synthesis tool" stand-in: an independent flow that runs
-    a lighter AIG script (balance + rewrite) and maps with the same library.
-    The absolute numbers of a real commercial tool cannot be reproduced;
-    what the experiment preserves is an independent third design point, as
-    documented in DESIGN.md.
+    a lighter AIG script (balance + rewrite + balance) and maps with the
+    same library.  The absolute numbers of a real commercial tool cannot be
+    reproduced; what the experiment preserves is an independent third
+    design point, as documented in DESIGN.md.
 
 Each flow reports estimated area (µm²), delay (ns) and power (µW) from the
 gate-level netlist, before physical design.
@@ -21,7 +24,7 @@ gate-level netlist, before physical design.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..aig.aig import Aig
@@ -31,6 +34,7 @@ from ..core.mig import Mig
 from ..mapping.library import CellLibrary, default_library
 from ..mapping.mapper import map_aig, map_mig
 from ..mapping.netlist import MappedNetlist
+from .engine import PassMetrics
 from .mighty import mighty_optimize
 
 __all__ = [
@@ -55,6 +59,7 @@ class SynthesisMetrics:
     power_uw: float
     num_cells: int
     runtime_s: float
+    opt_passes: tuple = ()
 
 
 @dataclass
@@ -67,7 +72,13 @@ class SynthesisComparison:
     cst: SynthesisMetrics
 
 
-def _measure(netlist: MappedNetlist, name: str, flow: str, runtime: float) -> SynthesisMetrics:
+def _measure(
+    netlist: MappedNetlist,
+    name: str,
+    flow: str,
+    runtime: float,
+    opt_passes: List[PassMetrics] = (),
+) -> SynthesisMetrics:
     return SynthesisMetrics(
         name=name,
         flow=flow,
@@ -76,6 +87,7 @@ def _measure(netlist: MappedNetlist, name: str, flow: str, runtime: float) -> Sy
         power_uw=netlist.power(),
         num_cells=netlist.num_cells,
         runtime_s=runtime,
+        opt_passes=tuple(opt_passes),
     )
 
 
@@ -85,25 +97,29 @@ def run_mig_synthesis(
     rounds: int = 2,
     depth_effort: int = 2,
 ) -> SynthesisMetrics:
-    """MIG optimization + technology mapping."""
+    """MIGhty pipeline + technology mapping."""
     library = library or default_library()
     start = time.perf_counter()
     mig = build_benchmark(benchmark, Mig)
-    mighty_optimize(mig, rounds=rounds, depth_effort=depth_effort)
+    result = mighty_optimize(mig, rounds=rounds, depth_effort=depth_effort)
     netlist = map_mig(mig, library)
-    return _measure(netlist, benchmark, "MIG", time.perf_counter() - start)
+    return _measure(
+        netlist, benchmark, "MIG", time.perf_counter() - start, result.pass_metrics
+    )
 
 
 def run_aig_synthesis(
     benchmark: str, library: Optional[CellLibrary] = None
 ) -> SynthesisMetrics:
-    """AIG (resyn2-style) optimization + technology mapping."""
+    """AIG (resyn2-style chain) optimization + technology mapping."""
     library = library or default_library()
     start = time.perf_counter()
     aig = build_benchmark(benchmark, Aig)
-    optimized, _ = resyn2(aig)
+    optimized, stats = resyn2(aig)
     netlist = map_aig(optimized, library)
-    return _measure(netlist, benchmark, "AIG", time.perf_counter() - start)
+    return _measure(
+        netlist, benchmark, "AIG", time.perf_counter() - start, stats.pass_metrics
+    )
 
 
 def run_cst_synthesis(
@@ -113,9 +129,11 @@ def run_cst_synthesis(
     library = library or default_library()
     start = time.perf_counter()
     aig = build_benchmark(benchmark, Aig)
-    optimized, _ = run_script(aig, ("balance", "rewrite", "balance"))
+    optimized, stats = run_script(aig, ("balance", "rewrite", "balance"))
     netlist = map_aig(optimized, library)
-    return _measure(netlist, benchmark, "CST", time.perf_counter() - start)
+    return _measure(
+        netlist, benchmark, "CST", time.perf_counter() - start, stats.pass_metrics
+    )
 
 
 def compare_synthesis(

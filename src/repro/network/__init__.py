@@ -1,5 +1,22 @@
-"""Shared logic-network utilities (conversions between representations)."""
+"""Shared logic-network kernel and conversions between representations.
 
-from .convert import aig_to_mig, mig_to_aig
+:class:`~repro.network.base.LogicNetwork` is the substrate both
+:class:`repro.core.mig.Mig` and :class:`repro.aig.aig.Aig` are built on;
+:mod:`repro.network.convert` translates between the two (and is imported
+lazily here because it depends on both concrete classes).
+"""
 
-__all__ = ["aig_to_mig", "mig_to_aig"]
+from .base import LogicNetwork
+
+__all__ = ["LogicNetwork", "aig_to_mig", "mig_to_aig"]
+
+
+def __getattr__(name):
+    # Lazy re-exports: ``convert`` imports Mig and Aig, which themselves
+    # import this package for the kernel — resolving the conversion helpers
+    # on first access keeps the import graph acyclic.
+    if name in ("aig_to_mig", "mig_to_aig"):
+        from . import convert
+
+        return getattr(convert, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""Tests for the pass-manager flow engine."""
+
+import json
+
+import pytest
+
+from repro.bench_circuits import build_benchmark
+from repro.core.mig import Mig
+from repro.flows import (
+    Balance,
+    Cleanup,
+    DepthOpt,
+    Eliminate,
+    FunctionPass,
+    PassMetrics,
+    Pipeline,
+    Repeat,
+    SizeOpt,
+    format_pass_metrics,
+    mighty_optimize,
+    mighty_pipeline,
+    pass_metrics_to_json,
+)
+from repro.verify import check_equivalence
+
+
+def small_mig(name="alu4"):
+    return build_benchmark(name, Mig)
+
+
+class TestPipeline:
+    def test_passes_run_in_order_with_metrics(self):
+        mig = small_mig()
+        result = Pipeline([Balance(), Eliminate(), Cleanup()], name="demo").run(mig)
+        assert result.name == "demo"
+        assert result.pass_names() == ["balance", "eliminate", "cleanup"]
+        # Balance accepts only (depth, size)-lexicographic improvements and
+        # the other passes never deepen, so depth is monotone here.
+        assert result.final_depth <= result.initial_depth
+        for metrics in result.passes:
+            assert metrics.runtime_s >= 0.0
+            assert metrics.size_after >= 0
+        # Metrics chain: each pass starts where the previous one ended.
+        for prev, cur in zip(result.passes, result.passes[1:]):
+            assert cur.size_before == prev.size_after
+            assert cur.depth_before == prev.depth_after
+
+    def test_pipeline_preserves_function(self):
+        mig = small_mig()
+        reference = small_mig()
+        Pipeline([Balance(), DepthOpt(effort=1), SizeOpt(effort=1), Eliminate()]).run(mig)
+        assert check_equivalence(mig, reference, num_random_vectors=512).equivalent
+
+    def test_function_pass(self):
+        mig = small_mig()
+        seen = []
+        result = Pipeline(
+            [FunctionPass("probe", lambda net: seen.append(net.num_gates))]
+        ).run(mig)
+        assert seen == [mig.num_gates]
+        assert result.pass_names() == ["probe"]
+
+    def test_measure_activity_opt_in(self):
+        mig = small_mig("count")
+        result = Pipeline([Eliminate()], measure_activity=True).run(mig)
+        assert result.passes[0].activity_before is not None
+        assert result.passes[0].activity_after is not None
+        # Without the flag the engine skips the (expensive) measurement.
+        result = Pipeline([Eliminate()]).run(small_mig("count"))
+        assert result.passes[0].activity_before is None
+
+
+class TestRepeat:
+    def test_repeat_stops_when_no_improvement(self):
+        mig = small_mig()
+        result = Pipeline(
+            [Repeat([Eliminate()], rounds=10, name="rounds")]
+        ).run(mig)
+        summary = result.passes[-1]
+        assert summary.name == "rounds"
+        # Elimination converges long before ten rounds.
+        assert summary.details["rounds"] < 10
+
+    def test_repeat_metrics_are_flattened(self):
+        mig = small_mig()
+        result = Pipeline([Repeat([Eliminate(), Cleanup()], rounds=1)]).run(mig)
+        names = result.pass_names()
+        assert names[:2] == ["eliminate", "cleanup"]
+        assert names[-1] == "repeat"
+
+
+class TestBalanceAcceptance:
+    def test_tie_is_rejected(self):
+        """A balanced candidate that merely ties must not replace the network."""
+        mig = small_mig()
+        # Balance to a fixpoint first.
+        Pipeline([Balance()]).run(mig)
+        result = Pipeline([Balance()]).run(mig)
+        assert result.passes[0].details == {"accepted": False}
+
+    def test_improvement_is_accepted(self):
+        mig = build_benchmark("my_adder", Mig)
+        result = Pipeline([Balance()]).run(mig)
+        metrics = result.passes[0]
+        if metrics.details["accepted"]:
+            assert (metrics.depth_after, metrics.size_after) < (
+                metrics.depth_before,
+                metrics.size_before,
+            )
+
+
+class TestMightyPipeline:
+    def test_mighty_is_declarative(self):
+        pipeline = mighty_pipeline(rounds=1, depth_effort=1)
+        assert pipeline.name == "mighty"
+        assert [p.name for p in pipeline.passes] == ["balance", "mighty_round"]
+
+    def test_mighty_reports_pass_metrics(self):
+        mig = small_mig()
+        result = mighty_optimize(mig, rounds=1, depth_effort=1)
+        names = [m.name for m in result.pass_metrics]
+        assert names[0] == "balance"
+        assert "depth_opt" in names and "size_opt" in names
+        assert result.final_size == mig.num_gates
+        assert result.final_depth == mig.depth()
+
+
+class TestSerialisation:
+    def _trace(self):
+        mig = small_mig()
+        return mighty_optimize(mig, rounds=1, depth_effort=1).pass_metrics
+
+    def test_format_pass_metrics(self):
+        table = format_pass_metrics(self._trace(), title="alu4 / MIGhty")
+        assert "alu4 / MIGhty" in table
+        assert "depth_opt" in table and "balance" in table
+
+    def test_pass_metrics_to_json_roundtrip(self):
+        trace = self._trace()
+        records = json.loads(pass_metrics_to_json(trace, flow="MIG"))
+        assert len(records) == len(trace)
+        assert all(r["flow"] == "MIG" for r in records)
+        assert records[0]["pass"] == "balance"
+        assert {"size_before", "size_after", "depth_before", "depth_after", "runtime_s"} <= set(records[0])
+
+    def test_pass_metrics_dataclass_helpers(self):
+        metrics = PassMetrics(
+            name="demo",
+            size_before=10,
+            size_after=8,
+            depth_before=4,
+            depth_after=3,
+            runtime_s=0.1,
+        )
+        assert metrics.size_delta == -2
+        assert metrics.depth_delta == -1
+        assert metrics.as_dict()["pass"] == "demo"

@@ -1,0 +1,205 @@
+"""Property tests for the kernel's incremental topology/level caches.
+
+The :class:`repro.network.base.LogicNetwork` kernel maintains per-node
+levels eagerly (worklist repair over the affected cone after every
+substitution) and caches the PO-reachable topological order.  These tests
+hammer both ``Mig`` and ``Aig`` with randomized build/substitute/cleanup
+sequences and assert, after every step, that the cached ``depth()``,
+``levels()`` and ``topological_order()`` agree with a from-scratch
+recomputation done by an independent reference implementation.
+"""
+
+import random
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.core.mig import Mig
+from repro.core.signal import make_signal, negate, node_of
+
+
+# --------------------------------------------------------------------- #
+# Independent reference implementations (no kernel caches involved)
+# --------------------------------------------------------------------- #
+def reference_topological_order(net):
+    """PO-reachable gates, fanins first, computed from scratch."""
+    order = []
+    visited = set(net.pi_nodes()) | {0}
+
+    def visit(root):
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for f in net.fanins(node):
+                fn = node_of(f)
+                if fn not in visited and not net.is_pi(fn) and not net.is_constant(fn):
+                    stack.append((fn, False))
+
+    for po in net.po_signals():
+        root = node_of(po)
+        if root not in visited:
+            visit(root)
+    return order
+
+
+def reference_levels(net):
+    """Per-node levels of the PO-reachable cone; everything else is 0."""
+    level = [0] * net.num_nodes
+    for node in reference_topological_order(net):
+        level[node] = 1 + max(level[node_of(f)] for f in net.fanins(node))
+    return level
+
+
+def reference_depth(net):
+    if not net.po_signals():
+        return 0
+    level = reference_levels(net)
+    return max(level[node_of(po)] for po in net.po_signals())
+
+
+def assert_caches_consistent(net):
+    assert net.depth() == reference_depth(net)
+    assert net.levels() == reference_levels(net)
+    # The cached order must be a valid topological order of exactly the
+    # reference's reachable gate set.
+    order = net.topological_order()
+    assert sorted(order) == sorted(reference_topological_order(net))
+    position = {node: i for i, node in enumerate(order)}
+    for node in order:
+        for f in net.fanins(node):
+            fn = node_of(f)
+            if fn in position:
+                assert position[fn] < position[node]
+    net.check_integrity()
+
+
+# --------------------------------------------------------------------- #
+# Random network builders
+# --------------------------------------------------------------------- #
+def random_mig(rng, num_pis=6, num_gates=40):
+    mig = Mig()
+    signals = [mig.add_pi(f"x{i}") for i in range(num_pis)]
+    signals.append(mig.constant(False))
+    for _ in range(num_gates):
+        a, b, c = rng.sample(signals, 3)
+        if rng.random() < 0.4:
+            a = negate(a)
+        signals.append(mig.maj(a, b, c))
+    for _ in range(3):
+        mig.add_po(rng.choice(signals))
+    return mig
+
+
+def random_aig(rng, num_pis=6, num_gates=40):
+    aig = Aig()
+    signals = [aig.add_pi(f"x{i}") for i in range(num_pis)]
+    for _ in range(num_gates):
+        a, b = rng.sample(signals, 2)
+        if rng.random() < 0.4:
+            a = negate(a)
+        signals.append(aig.and_(a, b))
+    for _ in range(3):
+        aig.add_po(rng.choice(signals))
+    return aig
+
+
+def random_substitutions(net, rng, steps=30):
+    """Apply random substitute / cleanup steps, checking caches each time."""
+    for step in range(steps):
+        gates = [n for n in net.gates() if not net.is_dead(n)]
+        if not gates:
+            break
+        old = rng.choice(gates)
+        target = rng.choice(
+            [make_signal(n) for n in gates] + net.pi_signals() + [net.constant(False)]
+        )
+        if rng.random() < 0.4:
+            target = negate(target)
+        net.substitute(old, target)
+        if step % 7 == 0:
+            net.cleanup()
+        assert_caches_consistent(net)
+    net.cleanup()
+    assert_caches_consistent(net)
+
+
+# --------------------------------------------------------------------- #
+# Tests
+# --------------------------------------------------------------------- #
+class TestMigLevelCache:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_substitutions(self, seed):
+        rng = random.Random(seed)
+        mig = random_mig(rng)
+        assert_caches_consistent(mig)
+        random_substitutions(mig, rng)
+
+    def test_depth_is_o1_between_changes(self):
+        rng = random.Random(99)
+        mig = random_mig(rng, num_pis=5, num_gates=25)
+        mig.depth()
+        # Serving from the cache twice must be stable without mutation.
+        assert mig.depth() == mig.depth()
+        assert mig.levels() == mig.levels()
+        assert mig.topological_order() == mig.topological_order()
+
+    def test_node_creation_keeps_caches_valid(self):
+        rng = random.Random(7)
+        mig = random_mig(rng, num_pis=4, num_gates=12)
+        before = mig.levels()
+        # A speculative node (not referenced by any PO) must not disturb
+        # the snapshot: it is unreachable and sits at level 0.
+        x, y = mig.pi_signals()[:2]
+        fresh = mig.maj(x, negate(y), mig.constant(False))
+        after = mig.levels()
+        assert after[: len(before)] == before
+        assert_caches_consistent(mig)
+        # Registering it as an output makes it reachable.
+        mig.add_po(fresh)
+        assert_caches_consistent(mig)
+
+    def test_replace_fanins_repairs_levels(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_pi(n) for n in "abcd")
+        inner = mig.maj(a, b, c)
+        outer = mig.maj(inner, c, d)
+        mig.add_po(outer)
+        assert mig.depth() == 2
+        mig.replace_fanins(node_of(outer), (a, c, d))
+        assert_caches_consistent(mig)
+        assert mig.depth() == 1
+
+
+class TestAigLevelCache:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_substitutions(self, seed):
+        rng = random.Random(1000 + seed)
+        aig = random_aig(rng)
+        assert_caches_consistent(aig)
+        random_substitutions(aig, rng)
+
+    def test_substitute_collapses_and_updates_depth(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi(n) for n in "abc")
+        ab = aig.and_(a, b)
+        abc = aig.and_(ab, c)
+        aig.add_po(abc)
+        assert aig.depth() == 2
+        # Replacing the inner conjunction by a literal shortens the path.
+        assert aig.substitute(node_of(ab), a)
+        assert_caches_consistent(aig)
+        assert aig.depth() == 1
+        assert aig.num_gates == 1
+
+    def test_reachable_accounting_after_substitute(self):
+        rng = random.Random(4242)
+        aig = random_aig(rng, num_pis=5, num_gates=30)
+        random_substitutions(aig, rng, steps=15)
+        assert aig.num_gates == len(reference_topological_order(aig))
