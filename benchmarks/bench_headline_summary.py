@@ -6,9 +6,14 @@ synthesis flow "enables an average reduction of {22%, 14%, 11%} in the
 estimated {delay, area, power} metrics".
 
 This bench computes both headline numbers on a representative subset and
-prints paper-vs-measured.
+prints paper-vs-measured.  When ``REPRO_BENCH_TRACE_JSON`` names a file,
+the per-pass metrics traces of both optimizing flows are serialised there
+(one JSON record per pass, tagged ``<benchmark>/<flow>``) so CI can upload
+them as an artifact and speed trajectories stay diffable across PRs.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -46,6 +51,18 @@ def test_headline_summary(benchmark):
         return opt, syn, rows, opt_wall, syn_wall
 
     opt, syn, rows, opt_wall, syn_wall = benchmark.pedantic(run, iterations=1, rounds=1)
+    trace_path = os.environ.get("REPRO_BENCH_TRACE_JSON")
+    if trace_path:
+        records = []
+        for row in rows:
+            for flow, passes in (("mig", row.mig_passes), ("aig", row.aig_passes)):
+                for metrics in passes:
+                    record = metrics.as_dict()
+                    record["flow"] = f"{row.name}/{flow}"
+                    records.append(record)
+        with open(trace_path, "w") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+        print(f"\nPer-pass trace written to {trace_path} ({len(records)} records)")
     print()
     print(
         f"Wall-time: optimization experiment {opt_wall:.2f}s, "

@@ -20,6 +20,7 @@ from repro.flows import (
     DepthOpt,
     Eliminate,
     FunctionPass,
+    MigRewrite,
     Pipeline,
     Repeat,
     SizeOpt,
@@ -35,7 +36,10 @@ def main() -> None:
     print(f"initial network : {mig.num_gates} majority nodes, depth {mig.depth()}")
 
     # A delay-first flow with a custom probe pass in the middle: two
-    # balance-framed depth rounds, then one size-recovery round.
+    # balance-framed depth rounds, then an area phase that interleaves the
+    # algebraic size recovery with Boolean cut rewriting (NPN-database
+    # matching over 4-feasible cuts — depth-safe, so it composes with the
+    # delay rounds without undoing them).
     def probe(net):
         return {"critical_gates": len(net.critical_nodes())}
 
@@ -44,7 +48,11 @@ def main() -> None:
             Balance(),
             Repeat([DepthOpt(effort=2), Balance()], rounds=2, name="delay_rounds"),
             FunctionPass("probe", probe),
-            Repeat([SizeOpt(effort=1), Eliminate()], rounds=1, name="area_rounds"),
+            Repeat(
+                [SizeOpt(effort=1), MigRewrite(), Eliminate()],
+                rounds=1,
+                name="area_rounds",
+            ),
         ],
         name="custom_delay_flow",
     )

@@ -2,7 +2,7 @@
 
 from .aig import Aig
 from .balance import balance
-from .rewrite import refactor, rewrite
+from .rewrite import refactor, rewrite, rewrite_aig_inplace
 from .resyn import RESYN2_SCRIPT, ResynStats, resyn2, run_script
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "balance",
     "rewrite",
     "refactor",
+    "rewrite_aig_inplace",
     "resyn2",
     "run_script",
     "ResynStats",

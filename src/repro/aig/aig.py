@@ -124,6 +124,9 @@ class Aig(LogicNetwork):
         a, b = fanins
         return (a, b) if a < b else (b, a)
 
+    def _normalize_gate(self, fanins: Tuple[int, ...]) -> Tuple[Tuple[int, ...], bool]:
+        return self._gate_key(fanins), False
+
     def _eval_gate(self, values: List[int], fanins: Tuple[int, ...], mask: int) -> int:
         a, b = fanins
         return self._edge_value(values, a, mask) & self._edge_value(values, b, mask)

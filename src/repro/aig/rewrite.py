@@ -1,171 +1,61 @@
-"""Cut-based AIG rewriting (the ``rewrite`` / ``refactor`` stand-in).
+"""Cut-based AIG rewriting (the ABC ``rewrite`` / ``refactor`` stand-in).
 
-For every AND node the pass looks at the two-level cut rooted at it (up to
-four leaves), computes the cut's local truth table and, when the function
-is *degenerate* — a constant, a single literal, or a two-literal AND / OR /
-XOR — replaces the cone by the cheaper structure.  Together with the
-structural hashing that runs while the rewritten network is being rebuilt,
-this removes the local redundancy that ABC's ``rewrite`` would also catch,
-which is what the baseline flow of Section V-A needs.
+For every AND node the pass enumerates the k-feasible cuts (k ≤ 4),
+NPN-canonicalizes each cut function and looks it up in the precomputed
+structure database (:mod:`repro.network.npn`); the cone is replaced by the
+database structure whenever the *gain* — nodes freed by deleting the
+root's fanout-free cone minus nodes actually added after structural-hash
+sharing — is positive.  Zero-gain replacements are applied as well, which
+canonicalizes equivalent cones onto one structure so that later nodes
+strash into them, mirroring ABC's ``rewrite`` policy.  The engine itself
+is the network-generic :func:`repro.network.rewrite.cut_rewrite`; this
+module only fixes the AIG conventions (database kind, rebuild-style API).
+
+Like ABC's scripts the public passes never mutate their argument: the
+input AIG is copied (compacting and re-strashing it) and the copy is
+rewritten in place.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
-from ..core.signal import (
-    CONST_FALSE,
-    CONST_NODE,
-    CONST_TRUE,
-    is_complemented,
-    negate,
-    negate_if,
-    node_of,
-)
+from ..network.rewrite import cut_rewrite
 from .aig import Aig
 
-__all__ = ["rewrite", "refactor", "cut_function"]
+__all__ = ["rewrite", "refactor", "rewrite_aig_inplace"]
 
 
-def _two_level_cut(aig: Aig, node: int) -> List[int]:
-    """Leaves of the (at most) two-level cut rooted at ``node``."""
-    leaves: List[int] = []
-    a, b = aig.fanins(node)
-    for child in (a, b):
-        child_node = node_of(child)
-        if aig.is_and(child_node) and not is_complemented(child):
-            leaves.extend(aig.fanins(child_node))
-        else:
-            leaves.append(child)
-    # Deduplicate by node, keep first polarity seen.
-    unique: List[int] = []
-    seen_nodes = set()
-    for leaf in leaves:
-        if node_of(leaf) not in seen_nodes:
-            seen_nodes.add(node_of(leaf))
-            unique.append(leaf)
-    return unique[:4]
-
-
-def cut_function(aig: Aig, root: int, leaves: List[int]) -> Optional[int]:
-    """Truth table of ``root`` (a node index) over the given cut leaves.
-
-    Returns ``None`` when the cone depends on signals outside the cut.
-    """
-    values: Dict[int, int] = {CONST_NODE: 0}
-    num_bits = 1 << len(leaves)
-    mask = (1 << num_bits) - 1
-    for index, leaf in enumerate(leaves):
-        pattern = 0
-        block = (1 << (1 << index)) - 1
-        period = 1 << (index + 1)
-        for start in range(1 << index, num_bits, period):
-            pattern |= block << start
-        leaf_node = node_of(leaf)
-        values[leaf_node] = (~pattern) & mask if is_complemented(leaf) else pattern
-
-    def eval_node(node: int, depth: int) -> Optional[int]:
-        if node in values:
-            return values[node]
-        if depth > 8 or not aig.is_and(node):
-            return None
-        a, b = aig.fanins(node)
-        va = eval_node(node_of(a), depth + 1)
-        vb = eval_node(node_of(b), depth + 1)
-        if va is None or vb is None:
-            return None
-        if is_complemented(a):
-            va = (~va) & mask
-        if is_complemented(b):
-            vb = (~vb) & mask
-        values[node] = va & vb
-        return values[node]
-
-    return eval_node(root, 0)
-
-
-def _match_degenerate(
-    table: int, leaves: List[int], builder: Aig, mapped: List[int]
-) -> Optional[int]:
-    """Return a cheap replacement signal for a degenerate cut function."""
-    n = len(leaves)
-    num_bits = 1 << n
-    mask = (1 << num_bits) - 1
-    if table == 0:
-        return CONST_FALSE
-    if table == mask:
-        return CONST_TRUE
-
-    columns = []
-    for index in range(n):
-        pattern = 0
-        block = (1 << (1 << index)) - 1
-        period = 1 << (index + 1)
-        for start in range(1 << index, num_bits, period):
-            pattern |= block << start
-        columns.append(pattern)
-
-    for index in range(n):
-        if table == columns[index]:
-            return mapped[index]
-        if table == (~columns[index]) & mask:
-            return negate(mapped[index])
-
-    for i, j in itertools.combinations(range(n), 2):
-        for pi, pj in itertools.product((False, True), repeat=2):
-            ci = (~columns[i]) & mask if pi else columns[i]
-            cj = (~columns[j]) & mask if pj else columns[j]
-            si = negate_if(mapped[i], pi)
-            sj = negate_if(mapped[j], pj)
-            if table == ci & cj:
-                return builder.and_(si, sj)
-            if table == (ci | cj) & mask:
-                return builder.or_(si, sj)
-        if table == (columns[i] ^ columns[j]) & mask:
-            return builder.xor_(mapped[i], mapped[j])
-        if table == (~(columns[i] ^ columns[j])) & mask:
-            return builder.xnor_(mapped[i], mapped[j])
-    return None
+def rewrite_aig_inplace(
+    aig: Aig,
+    k: int = 4,
+    cut_limit: int = 8,
+    allow_zero_gain: bool = True,
+) -> Dict[str, int]:
+    """Run one Boolean cut-rewriting sweep over ``aig`` in place."""
+    return cut_rewrite(
+        aig,
+        "aig",
+        k=k,
+        cut_limit=cut_limit,
+        allow_zero_gain=allow_zero_gain,
+    )
 
 
 def rewrite(aig: Aig) -> Aig:
-    """Return a rewritten copy of ``aig`` with degenerate cuts simplified."""
-    result = Aig()
-    result.name = aig.name
-    mapping: Dict[int, int] = {CONST_NODE: CONST_FALSE}
-    for node, name in zip(aig.pi_nodes(), aig.pi_names()):
-        mapping[node] = result.add_pi(name)
-
-    for node in aig.topological_order():
-        a, b = aig.fanins(node)
-        default = result.and_(
-            negate_if(mapping[node_of(a)], is_complemented(a)),
-            negate_if(mapping[node_of(b)], is_complemented(b)),
-        )
-        leaves = _two_level_cut(aig, node)
-        replacement = None
-        if 2 <= len(leaves) <= 4 and all(node_of(l) in mapping for l in leaves):
-            table = cut_function(aig, node, leaves)
-            if table is not None:
-                mapped = [
-                    negate_if(mapping[node_of(l)], is_complemented(l)) for l in leaves
-                ]
-                replacement = _match_degenerate(table, leaves, result, mapped)
-        mapping[node] = replacement if replacement is not None else default
-
-    for po, name in zip(aig.po_signals(), aig.po_names()):
-        result.add_po(
-            negate_if(mapping[node_of(po)], is_complemented(po)), name
-        )
+    """Return a rewritten copy of ``aig`` (4-input cut rewriting)."""
+    result = aig.copy()
+    rewrite_aig_inplace(result)
     return result
 
 
 def refactor(aig: Aig) -> Aig:
-    """Alias of :func:`rewrite` kept for flow-script readability.
+    """The ``refactor`` slot of the resyn2 script.
 
-    ABC's ``refactor`` resynthesises larger cones; within the scope of this
-    reproduction the same degenerate-cut simplification is reused, which is
-    documented as a substitution in DESIGN.md.
+    ABC's ``refactor`` resynthesises larger cones; within this
+    reproduction the same cut rewriting is run with a wider priority-cut
+    budget, which looks at more reconvergent cones per node.
     """
-    return rewrite(aig)
+    result = aig.copy()
+    rewrite_aig_inplace(result, cut_limit=12)
+    return result

@@ -9,6 +9,7 @@ from .signal import (
     negate,
     node_of,
 )
+from .rewrite import rewrite_mig
 from .size_opt import SizeOptStats, optimize_size
 from .depth_opt import DepthOptStats, optimize_depth
 from .activity_opt import ActivityOptStats, optimize_activity
@@ -23,6 +24,7 @@ __all__ = [
     "node_of",
     "negate",
     "is_complemented",
+    "rewrite_mig",
     "optimize_size",
     "optimize_depth",
     "optimize_activity",

@@ -156,6 +156,9 @@ class Mig(LogicNetwork):
     def _gate_key(self, fanins: Tuple[int, ...]) -> Tuple[int, ...]:
         return tuple(sorted(fanins))
 
+    def _normalize_gate(self, fanins: Tuple[int, ...]) -> Tuple[Tuple[int, ...], bool]:
+        return _normalize_maj(*fanins)
+
     def _eval_gate(self, values: List[int], fanins: Tuple[int, ...], mask: int) -> int:
         a, b, c = fanins
         va = self._edge_value(values, a, mask)

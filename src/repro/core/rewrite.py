@@ -1,0 +1,59 @@
+"""Boolean cut rewriting for MIGs — the optimization scenario beyond Ω/Ψ.
+
+The paper optimizes MIGs with purely *algebraic* transformations (the Ω
+axioms and the derived Ψ rules of :mod:`repro.core.rules`), which move
+within the algebra of one cone at a time.  Cut rewriting is the standard
+*Boolean* complement: enumerate the k-feasible cuts of every node, compute
+the cut's truth table, and replace the cone by the precomputed optimal MIG
+structure of its NPN class whenever that shrinks the network — catching
+simplifications the axioms cannot see (e.g. a cone whose function happens
+to be a single majority, an XOR, or a constant in disguise).
+
+The heavy lifting is the network-generic engine in
+:mod:`repro.network.rewrite`; this module fixes the MIG conventions:
+
+* replacements are *depth-safe* by default (``max_level_growth=0``): the
+  estimated level of the replacement must not exceed the root's current
+  level, so a sweep can never increase the network depth — the invariant
+  the MIGhty flow's acceptance policy relies on;
+* zero-gain replacements are off by default (the MIG optimizers work in
+  place, so canonicalization-for-strashing pays off less than in the
+  rebuild-based AIG flow).
+
+Use through the flow engine as the ``mig_rewrite`` pass
+(:class:`repro.flows.engine.MigRewrite`) to interleave Boolean rewriting
+with the algebraic passes, or call :func:`rewrite_mig` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..network.rewrite import cut_rewrite
+from .mig import Mig
+
+__all__ = ["rewrite_mig"]
+
+
+def rewrite_mig(
+    mig: Mig,
+    k: int = 4,
+    cut_limit: int = 6,
+    allow_zero_gain: bool = False,
+    max_level_growth: Optional[int] = 0,
+) -> Dict[str, int]:
+    """Run one Boolean cut-rewriting sweep over ``mig`` in place.
+
+    Returns the engine's stats dictionary (``rewrites`` applied,
+    ``zero_gain`` among them, total size ``gain``).  With the default
+    ``max_level_growth=0`` the sweep never increases ``mig.depth()``;
+    pass ``None`` to lift the bound (size-first mode).
+    """
+    return cut_rewrite(
+        mig,
+        "mig",
+        k=k,
+        cut_limit=cut_limit,
+        allow_zero_gain=allow_zero_gain,
+        max_level_growth=max_level_growth,
+    )

@@ -16,6 +16,7 @@ from .engine import (
     Eliminate,
     FlowResult,
     FunctionPass,
+    MigRewrite,
     Pass,
     PassMetrics,
     Pipeline,
@@ -67,6 +68,7 @@ __all__ = [
     "Balance",
     "DepthOpt",
     "SizeOpt",
+    "MigRewrite",
     "Eliminate",
     "Reshape",
     "ActivityOpt",

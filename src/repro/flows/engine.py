@@ -47,6 +47,7 @@ __all__ = [
     "Balance",
     "DepthOpt",
     "SizeOpt",
+    "MigRewrite",
     "Eliminate",
     "Reshape",
     "ActivityOpt",
@@ -435,6 +436,43 @@ class SizeOpt(Pass):
             "eliminations": stats.eliminations,
             "reshape_rewrites": stats.reshape_rewrites,
         }
+
+
+class MigRewrite(Pass):
+    """Boolean cut rewriting against the NPN structure database.
+
+    The Boolean counterpart of the algebraic Ω/Ψ passes: 4-feasible cuts
+    are enumerated, NPN-canonicalized and replaced by precomputed optimal
+    MIG structures when the shared-logic-aware gain is positive (see
+    :func:`repro.core.rewrite.rewrite_mig`).  Depth-safe by default, so it
+    can be interleaved anywhere in a MIGhty-style pipeline without
+    breaking the flow's depth monotonicity.
+    """
+
+    name = "mig_rewrite"
+
+    def __init__(
+        self,
+        k: int = 4,
+        cut_limit: int = 6,
+        allow_zero_gain: bool = False,
+        max_level_growth: Optional[int] = 0,
+    ) -> None:
+        self.k = k
+        self.cut_limit = cut_limit
+        self.allow_zero_gain = allow_zero_gain
+        self.max_level_growth = max_level_growth
+
+    def apply(self, network) -> Dict[str, object]:
+        from ..core.rewrite import rewrite_mig
+
+        return rewrite_mig(
+            network,
+            k=self.k,
+            cut_limit=self.cut_limit,
+            allow_zero_gain=self.allow_zero_gain,
+            max_level_growth=self.max_level_growth,
+        )
 
 
 class Eliminate(Pass):

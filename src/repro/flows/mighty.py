@@ -32,6 +32,7 @@ from .engine import (
     Balance,
     DepthOpt,
     Eliminate,
+    MigRewrite,
     Pass,
     PassMetrics,
     Pipeline,
@@ -61,6 +62,7 @@ def mighty_pipeline(
     size_effort: int = 1,
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
+    boolean_rewrite: bool = False,
 ) -> Pipeline:
     """Build the MIGhty flow as a declarative pass pipeline.
 
@@ -71,11 +73,23 @@ def mighty_pipeline(
     Rounds stop early when neither depth nor size improves.  The leading
     balance (closed-form Ω.A) gives the majority-specific depth moves a
     well-conditioned starting point.
+
+    ``boolean_rewrite=True`` interleaves NPN-database cut rewriting
+    (:class:`~repro.flows.engine.MigRewrite`) with the algebraic size
+    recovery — an optimization scenario beyond the paper's purely
+    algebraic flow.  Each rewrite sweep is depth-safe and only commits
+    size-improving replacements; the combined flow dominating the
+    algebraic one on both metrics is an empirical result (verified per
+    benchmark by ``benchmarks/acceptance_cut_rewrite.py`` over the Table I
+    suite), not a structural guarantee — later heuristic rounds start
+    from a different network and could in principle land elsewhere.
     """
     round_passes: List[Pass] = [
         DepthOpt(effort=depth_effort, reshape_params=reshape_params),
         SizeOpt(effort=size_effort, reshape_params=reshape_params),
     ]
+    if boolean_rewrite:
+        round_passes.append(MigRewrite())
     if activity_recovery:
         round_passes.append(Eliminate())
     round_passes.append(Balance())
@@ -96,6 +110,7 @@ def mighty_optimize(
     pi_probabilities: Optional[Mapping[str, float]] = None,
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
+    boolean_rewrite: bool = False,
 ) -> MightyResult:
     """Run the MIGhty delay-oriented flow in place."""
     start = time.perf_counter()
@@ -105,6 +120,7 @@ def mighty_optimize(
         size_effort=size_effort,
         activity_recovery=activity_recovery,
         reshape_params=reshape_params,
+        boolean_rewrite=boolean_rewrite,
     )
     result = pipeline.run(mig)
 

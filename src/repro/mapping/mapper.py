@@ -5,8 +5,12 @@ containing MIN-3 / MAJ-3 / XOR-2 / XNOR-2 / NAND-2 / NOR-2 / INV cells with
 a proprietary mapper.  This module provides the reproduction's mapper: a
 structural covering that
 
-* recognises XOR / XNOR cones (the 3-node majority pattern and the 3-node
-  AND pattern) and maps them to the dedicated XOR2 / XNOR2 cells,
+* matches multi-node cones against complex-cell functions (XOR2/XNOR2,
+  MAJ3/MIN3) through k-feasible cut enumeration and NPN canonicalization —
+  the cut function of a cone is canonicalized and compared against the
+  canonicalized *cell* functions of the library, so any cone computing an
+  XOR (in either network type, under any edge polarities) maps to one XOR
+  cell, not just the hand-picked 3-node patterns,
 * maps majority nodes with a constant operand to AND2 / OR2 / NAND2 / NOR2
   (absorbing input complementation through De Morgan where possible),
 * maps full three-input majority nodes to MAJ3 / MIN3 — "natively
@@ -14,19 +18,46 @@ structural covering that
 * materialises remaining edge complementations as INV cells (cached per
   node so each polarity is generated at most once).
 
+Cell matches are selected root-first (reverse topological order) *before*
+any cell is emitted, so the interior nodes of a matched cone are never
+materialised — absorbing a cone no longer leaves dead cells behind.
+
 Both network types (MIG and AIG) go through the *same* mapper, as in the
 paper's methodology; only the subject graph differs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.signal import CONST_FALSE, CONST_TRUE, is_complemented, negate, node_of
+from ..core.signal import (
+    CONST_FALSE,
+    CONST_TRUE,
+    is_complemented,
+    make_signal,
+    negate,
+    node_of,
+)
+from ..network.cuts import cut_cone, enumerate_cuts
+from ..network.npn import (
+    PROJECTIONS,
+    NpnTransform,
+    apply_transform,
+    compose_transforms,
+    extend_table,
+    invert_transform,
+    npn_canonical,
+)
 from .library import CellLibrary, default_library
 from .netlist import MappedNetlist
 
 __all__ = ["map_mig", "map_aig", "map_network"]
+
+_FULL = 0xFFFF
+
+#: Complex cells matched through cut functions, as (cell, complement-cell)
+#: pairs so an output complementation selects the sibling instead of an INV.
+_MATCHABLE_CELL_PAIRS = (("XOR2", "XNOR2"), ("MAJ3", "MIN3"))
 
 
 class _MappingContext:
@@ -77,6 +108,160 @@ def map_network(network, library: Optional[CellLibrary] = None) -> MappedNetlist
 
 
 # --------------------------------------------------------------------- #
+# Cut + NPN matching of complex library cells
+# --------------------------------------------------------------------- #
+class _CellTemplate:
+    """One matchable library cell pair, canonicalized once per mapping."""
+
+    __slots__ = ("cell", "complement_cell", "arity", "table", "to_canonical", "foldable")
+
+    def __init__(self, cell: str, complement_cell: str, arity: int, table: int) -> None:
+        self.cell = cell
+        self.complement_cell = complement_cell
+        self.arity = arity
+        self.table = table
+        _, self.to_canonical = npn_canonical(table)
+        # Input positions whose complementation is equivalent to
+        # complementing the output (true for every XOR input, no MAJ input),
+        # letting the match fold input polarities into the sibling choice.
+        self.foldable = tuple(
+            apply_transform(table, NpnTransform((0, 1, 2, 3), 1 << i, False))
+            == table ^ _FULL
+            for i in range(arity)
+        )
+
+
+def _cell_truth_table(cell) -> int:
+    """Cell function over its own inputs, in the 4-variable space.
+
+    The cell evaluation is bit-parallel, so feeding it the 4-variable
+    projection patterns directly yields the padded table in one step.
+    """
+    return cell.evaluate(PROJECTIONS[: cell.num_inputs], _FULL)
+
+
+def _cell_templates(library: CellLibrary) -> Dict[int, List[_CellTemplate]]:
+    """Canonical-class index of the library's matchable complex cells."""
+    templates: Dict[int, List[_CellTemplate]] = {}
+    for cell, complement_cell in _MATCHABLE_CELL_PAIRS:
+        if cell not in library or complement_cell not in library:
+            continue
+        template = _CellTemplate(
+            cell,
+            complement_cell,
+            library[cell].num_inputs,
+            _cell_truth_table(library[cell]),
+        )
+        canonical, _ = npn_canonical(template.table)
+        templates.setdefault(canonical, []).append(template)
+    return templates
+
+
+def _match_template(
+    template: _CellTemplate,
+    leaves: Tuple[int, ...],
+    table: int,
+    cut_transform,
+) -> Optional[Tuple[str, List[Tuple[int, bool]]]]:
+    """Bind a cut function onto a cell template.
+
+    Computes the transform expressing the cut function *from* the cell
+    function and turns it into a pin assignment: which leaf drives which
+    cell input, with which polarity, and whether the complement sibling
+    realises the output polarity.  Returns ``None`` when the cut does not
+    use every leaf (which would leave dangling logic behind).
+    """
+    if len(leaves) != template.arity:
+        return None
+    # cut = apply(cell, compose(cell→canon, canon→cut)).
+    transform = compose_transforms(template.to_canonical, invert_transform(cut_transform))
+    if apply_transform(template.table, transform) != table:
+        return None
+    perm_inv = [0, 0, 0, 0]
+    for j, p in enumerate(transform.perm):
+        perm_inv[p] = j
+    output_neg = transform.output_neg
+    pins: List[Tuple[int, bool]] = []
+    used = set()
+    for i in range(template.arity):
+        j = perm_inv[i]
+        if j >= len(leaves):
+            return None
+        neg = bool((transform.input_neg >> j) & 1)
+        if neg and template.foldable[i]:
+            neg = False
+            output_neg = not output_neg
+        pins.append((leaves[j], neg))
+        used.add(j)
+    if used != set(range(len(leaves))):
+        return None
+    cell = template.complement_cell if output_neg else template.cell
+    return cell, pins
+
+
+def _match_library_cells(net, library: CellLibrary):
+    """Choose complex-cell matches for ``net``: root-first, non-overlapping.
+
+    Returns ``(matches, absorbed)`` where ``matches`` maps a root node to
+    its ``(cell, pins)`` binding and ``absorbed`` is the set of interior
+    nodes covered by a match (which must not be emitted).  A match is
+    accepted only when every interior node is referenced exclusively from
+    inside the matched cone, so absorbing it cannot orphan other logic.
+    """
+    templates = _cell_templates(library)
+    matches: Dict[int, Tuple[str, List[Tuple[int, bool]]]] = {}
+    absorbed: set = set()
+    if not templates:
+        return matches, absorbed
+
+    cuts = enumerate_cuts(net, k=3, cut_limit=6)
+    for root in reversed(net.topological_order()):
+        if root in absorbed:
+            continue
+        best = None
+        for cut in cuts.get(root, ()):
+            leaves = cut.leaves
+            if len(leaves) < 2 or leaves == (root,):
+                continue
+            table = extend_table(cut.table, len(leaves))
+            canonical, cut_transform = npn_canonical(table)
+            candidates = templates.get(canonical)
+            if candidates is None:
+                continue
+            cone = cut_cone(net, root, leaves)
+            interior = [n for n in cone if n != root]
+            # A match must beat per-node mapping (≥ 1 absorbed node) and
+            # must not overlap a cone already claimed by a higher match.
+            if not interior or any(n in absorbed for n in interior):
+                continue
+            refs_inside: Dict[int, int] = {}
+            for n in cone:
+                for f in net.fanins(n):
+                    fn = node_of(f)
+                    refs_inside[fn] = refs_inside.get(fn, 0) + 1
+            if any(net.fanout_size(n) != refs_inside.get(n, 0) for n in interior):
+                continue
+            for template in candidates:
+                bound = _match_template(template, leaves, table, cut_transform)
+                if bound is None:
+                    continue
+                score = len(interior)
+                if best is None or score > best[0]:
+                    best = (score, bound, interior)
+        if best is not None:
+            matches[root] = best[1]
+            absorbed.update(best[2])
+    return matches, absorbed
+
+
+def _emit_match(ctx: _MappingContext, net_name: str, match) -> None:
+    cell, pins = match
+    ctx.netlist.add_cell(
+        cell, net_name, [ctx.literal(make_signal(leaf, neg)) for leaf, neg in pins]
+    )
+
+
+# --------------------------------------------------------------------- #
 # MIG mapping
 # --------------------------------------------------------------------- #
 def map_mig(mig, library: Optional[CellLibrary] = None) -> MappedNetlist:
@@ -86,20 +271,14 @@ def map_mig(mig, library: Optional[CellLibrary] = None) -> MappedNetlist:
     for node, name in zip(mig.pi_nodes(), mig.pi_names()):
         ctx.node_net[node] = name
 
-    order = mig.topological_order()
-    fanout_refs = {node: mig.fanout_size(node) for node in order}
-    absorbed = set()
-
-    for node in order:
+    matches, absorbed = _match_library_cells(mig, library)
+    for node in mig.topological_order():
         if node in absorbed:
             continue
         net_name = f"n{node}"
-        xor_match = _match_mig_xor(mig, node, fanout_refs) if "XOR2" in library else None
-        if xor_match is not None:
-            a, b, inner_nodes, is_xnor = xor_match
-            cell = "XNOR2" if is_xnor else "XOR2"
-            ctx.netlist.add_cell(cell, net_name, [ctx.literal(a), ctx.literal(b)])
-            absorbed.update(inner_nodes)
+        match = matches.get(node)
+        if match is not None:
+            _emit_match(ctx, net_name, match)
             ctx.node_net[node] = net_name
             continue
 
@@ -147,11 +326,9 @@ def _map_majority(ctx: _MappingContext, net: str, fanins) -> None:
     library = ctx.library
     complemented_count = sum(1 for f in fanins if is_complemented(f))
     if "MIN3" in library and complemented_count >= 2:
-        # M(a', b', c') = MIN3(a, b, c)' ... better: M with two complements is
-        # cheaper as MIN3 of the mixed literals followed by the remaining INV
-        # absorbed through De Morgan: M(a',b',c) = (M(a,b,c'))'.
+        # M with two complements is cheaper as MIN3 of the complemented
+        # literals: M(a', b', c) = MIN3(a, b, c').
         literals = [ctx.literal(negate(f)) for f in fanins]
-        tmp = f"{net}_m"
         ctx.netlist.add_cell("MIN3", net, literals)
         return
     if "MAJ3" in library:
@@ -165,46 +342,6 @@ def _map_majority(ctx: _MappingContext, net: str, fanins) -> None:
     ctx.netlist.add_cell("OR2", net, [ab, cab])
 
 
-def _match_mig_xor(mig, node: int, fanout_refs) -> Optional[Tuple[int, int, set, bool]]:
-    """Detect the 3-node XOR pattern ``AND(NAND(a,b), OR(a,b))`` in a MIG."""
-    fanins = mig.fanins(node)
-    if CONST_FALSE not in fanins:
-        return None
-    others = [f for f in fanins if f != CONST_FALSE]
-    if len(others) != 2:
-        return None
-    first, second = others
-    # Expect one complemented AND child and one regular OR child.
-    candidates = [(first, second), (second, first)]
-    for nand_edge, or_edge in candidates:
-        if not is_complemented(nand_edge) or is_complemented(or_edge):
-            continue
-        nand_node, or_node = node_of(nand_edge), node_of(or_edge)
-        if not (mig.is_maj(nand_node) and mig.is_maj(or_node)):
-            continue
-        nand_fanins = mig.fanins(nand_node)
-        or_fanins = mig.fanins(or_node)
-        if CONST_FALSE not in nand_fanins or CONST_TRUE not in or_fanins:
-            continue
-        nand_ops = sorted(f for f in nand_fanins if f != CONST_FALSE)
-        or_ops = sorted(f for f in or_fanins if f != CONST_TRUE)
-        if nand_ops != or_ops or len(nand_ops) != 2:
-            continue
-        # Only absorb the inner nodes when they are not shared elsewhere.
-        if fanout_refs.get(nand_node, 2) > 1 or fanout_refs.get(or_node, 2) > 1:
-            continue
-        a, b = nand_ops
-        # node = AND(NAND(a,b), OR(a,b)) = XOR(a, b); fold literal polarities
-        # into the cell choice so no INV cells are needed for them.
-        is_xnor = False
-        if is_complemented(a):
-            a, is_xnor = negate(a), not is_xnor
-        if is_complemented(b):
-            b, is_xnor = negate(b), not is_xnor
-        return a, b, {nand_node, or_node}, is_xnor
-    return None
-
-
 # --------------------------------------------------------------------- #
 # AIG mapping
 # --------------------------------------------------------------------- #
@@ -215,27 +352,14 @@ def map_aig(aig, library: Optional[CellLibrary] = None) -> MappedNetlist:
     for node, name in zip(aig.pi_nodes(), aig.pi_names()):
         ctx.node_net[node] = name
 
-    order = aig.topological_order()
-    fanout_refs: Dict[int, int] = {}
-    for node in order:
-        for f in aig.fanins(node):
-            fn = node_of(f)
-            fanout_refs[fn] = fanout_refs.get(fn, 0) + 1
-    for po in aig.po_signals():
-        fn = node_of(po)
-        fanout_refs[fn] = fanout_refs.get(fn, 0) + 1
-
-    absorbed = set()
-    for node in order:
+    matches, absorbed = _match_library_cells(aig, library)
+    for node in aig.topological_order():
         if node in absorbed:
             continue
         net_name = f"n{node}"
-        xor_match = _match_aig_xor(aig, node, fanout_refs) if "XOR2" in library else None
-        if xor_match is not None:
-            a, b, inner_nodes, is_xnor = xor_match
-            cell = "XNOR2" if is_xnor else "XOR2"
-            ctx.netlist.add_cell(cell, net_name, [ctx.literal(a), ctx.literal(b)])
-            absorbed.update(inner_nodes)
+        match = matches.get(node)
+        if match is not None:
+            _emit_match(ctx, net_name, match)
             ctx.node_net[node] = net_name
             continue
         a, b = aig.fanins(node)
@@ -245,30 +369,6 @@ def map_aig(aig, library: Optional[CellLibrary] = None) -> MappedNetlist:
     for po, name in zip(aig.po_signals(), aig.po_names()):
         ctx.netlist.add_po(_po_net(ctx, po), name)
     return ctx.netlist
-
-
-def _match_aig_xor(aig, node: int, fanout_refs) -> Optional[Tuple[int, int, set, bool]]:
-    """Detect ``!(x1·x2) · !(x1'·x2') = XOR(x1, x2)`` rooted at an AND node."""
-    a_edge, b_edge = aig.fanins(node)
-    if not (is_complemented(a_edge) and is_complemented(b_edge)):
-        return None
-    left, right = node_of(a_edge), node_of(b_edge)
-    if not (aig.is_and(left) and aig.is_and(right)):
-        return None
-    left_ops = set(aig.fanins(left))
-    right_ops = set(aig.fanins(right))
-    if left_ops != {negate(s) for s in right_ops}:
-        return None
-    if fanout_refs.get(left, 2) > 1 or fanout_refs.get(right, 2) > 1:
-        return None
-    x1, x2 = sorted(left_ops)
-    # node = !(x1·x2) · !(x1'·x2') = XOR(x1, x2); absorb literal polarities.
-    is_xnor = False
-    if is_complemented(x1):
-        x1, is_xnor = negate(x1), not is_xnor
-    if is_complemented(x2):
-        x2, is_xnor = negate(x2), not is_xnor
-    return x1, x2, {left, right}, is_xnor
 
 
 def _po_net(ctx: _MappingContext, po_signal: int) -> str:

@@ -2,13 +2,40 @@
 
 :class:`~repro.network.base.LogicNetwork` is the substrate both
 :class:`repro.core.mig.Mig` and :class:`repro.aig.aig.Aig` are built on;
-:mod:`repro.network.convert` translates between the two (and is imported
-lazily here because it depends on both concrete classes).
+:mod:`repro.network.cuts` enumerates k-feasible cuts with truth tables
+over any such network, :mod:`repro.network.npn` canonicalizes the cut
+functions and stores the precomputed optimal structures, and
+:mod:`repro.network.rewrite` runs DAG-aware Boolean rewriting on top of
+both; :mod:`repro.network.convert` translates between the two concrete
+types (and is imported lazily here because it depends on both).
 """
 
 from .base import LogicNetwork
+from .cuts import Cut, cut_cone, enumerate_cuts, mffc_nodes
+from .npn import (
+    NpnTransform,
+    apply_transform,
+    extend_table,
+    npn_canonical,
+    npn_representatives,
+)
+from .rewrite import cut_rewrite
 
-__all__ = ["LogicNetwork", "aig_to_mig", "mig_to_aig"]
+__all__ = [
+    "LogicNetwork",
+    "Cut",
+    "cut_cone",
+    "enumerate_cuts",
+    "mffc_nodes",
+    "NpnTransform",
+    "apply_transform",
+    "extend_table",
+    "npn_canonical",
+    "npn_representatives",
+    "cut_rewrite",
+    "aig_to_mig",
+    "mig_to_aig",
+]
 
 
 def __getattr__(name):

@@ -132,6 +132,15 @@ class LogicNetwork:
         """Canonical structural-hash key of a stored fanin tuple."""
         raise NotImplementedError
 
+    def _normalize_gate(self, fanins: Tuple[int, ...]) -> Tuple[Tuple[int, ...], bool]:
+        """Canonical stored form of a raw fanin tuple plus output polarity.
+
+        Exactly the normalization the subclass builder applies before
+        :meth:`_create_gate`; exposed so cost estimators (the rewrite
+        engine's dry run) can mirror the builder's strash probe order.
+        """
+        raise NotImplementedError
+
     def _eval_gate(self, values: List[int], fanins: Tuple[int, ...], mask: int) -> int:
         raise NotImplementedError
 
@@ -177,13 +186,18 @@ class LogicNetwork:
 
         The caller (the subclass builder) has validated the fanin signals,
         applied the trivial simplifications and put ``fanins`` into the
-        canonical stored form.  Creation keeps all caches valid: a new node
-        is unreachable from the primary outputs until something references
-        it, and its level is fixed by its fanins.
+        canonical stored form.  All structural-hash keys the function may
+        live under are probed (``_strash_candidates``): in-place fanin
+        rewrites can store a node under a non-canonical polarity form, and
+        missing such a hit would materialise a functional duplicate.
+        Creation keeps all caches valid: a new node is unreachable from the
+        primary outputs until something references it, and its level is
+        fixed by its fanins.
         """
-        existing = self._strash.get(fanins)
-        if existing is not None and not self._dead[existing]:
-            return make_signal(existing, out_compl)
+        for key, key_compl in self._strash_candidates(fanins):
+            existing = self._strash.get(key)
+            if existing is not None and not self._dead[existing]:
+                return make_signal(existing, out_compl ^ key_compl)
 
         node = self._allocate_node(fanins)
         self._strash[fanins] = node

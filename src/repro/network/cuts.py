@@ -1,0 +1,226 @@
+"""k-feasible cut enumeration over any :class:`~repro.network.base.LogicNetwork`.
+
+A *cut* of a node ``n`` is a set of nodes (the *leaves*) such that every
+path from ``n`` to the primary inputs passes through a leaf; it is
+*k-feasible* when it has at most ``k`` leaves.  Cuts are the unit of
+Boolean (as opposed to algebraic) optimization: the function of ``n`` over
+the cut leaves is a small truth table that can be NPN-canonicalized and
+matched against a database of precomputed structures
+(:mod:`repro.network.npn`) or against standard-cell functions
+(:mod:`repro.mapping.mapper`).
+
+The enumeration is the classic bottom-up *priority cuts* scheme: the cut
+set of a gate is the cross product of its fanins' cut sets, truncated to
+the ``cut_limit`` best cuts per node (fewest leaves first), always keeping
+the trivial cut ``{n}`` so fanouts can build on ``n`` itself.  Dominated
+cuts (supersets of another kept cut) are filtered.  Each cut carries the
+truth table of the node over its leaves, computed incrementally during the
+merge with the same bit-parallel idiom the kernel's simulator uses — the
+gate semantics are supplied by the subclass through ``_eval_gate``, so the
+same enumerator serves MIGs, AIGs and any future network type.
+
+Truth tables are little-endian over the sorted leaf tuple: bit ``m`` of
+``cut.table`` is the value of the node when leaf ``i`` carries bit ``i``
+of the minterm index ``m``.  Leaves are *nodes* (regular polarity); edge
+complementations inside the cone are folded into the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..core.signal import CONST_NODE
+
+__all__ = ["Cut", "enumerate_cuts", "cut_cone", "mffc_nodes"]
+
+
+class Cut:
+    """One k-feasible cut: sorted leaf nodes plus the root's local function."""
+
+    __slots__ = ("leaves", "table")
+
+    def __init__(self, leaves: Tuple[int, ...], table: int) -> None:
+        self.leaves = leaves
+        self.table = table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cut(leaves={self.leaves}, table=0x{self.table:x})"
+
+
+#: Truth table of the trivial cut ``{n}``: the single leaf variable itself.
+_TRIVIAL_TABLE = 0b10
+
+
+def _expand_table(table: int, child_leaves: Tuple[int, ...], leaves: Tuple[int, ...]) -> int:
+    """Re-express ``table`` (over ``child_leaves``) in the ``leaves`` space."""
+    if child_leaves == leaves:
+        return table
+    positions = tuple(leaves.index(leaf) for leaf in child_leaves)
+    out = 0
+    for m in range(1 << len(leaves)):
+        cm = 0
+        for i, p in enumerate(positions):
+            if (m >> p) & 1:
+                cm |= 1 << i
+        if (table >> cm) & 1:
+            out |= 1 << m
+    return out
+
+
+def _merge_table(net, fanins: Tuple[int, ...], combo: Sequence[Cut], leaves: Tuple[int, ...]) -> int:
+    """Truth table of one gate over ``leaves`` given its fanins' cut tables."""
+    mask = (1 << (1 << len(leaves))) - 1
+    values: Dict[int, int] = {CONST_NODE: 0}
+    for f, cut in zip(fanins, combo):
+        fn = f >> 1
+        if fn != CONST_NODE:
+            values[fn] = _expand_table(cut.table, cut.leaves, leaves)
+    return net._eval_gate(values, fanins, mask)
+
+
+def enumerate_cuts(net, k: int = 4, cut_limit: int = 8) -> Dict[int, List[Cut]]:
+    """Enumerate up to ``cut_limit`` k-feasible cuts per PO-reachable node.
+
+    Returns a mapping ``node -> [Cut, ...]``; every gate's list ends with
+    its trivial cut, and primary inputs carry only theirs.  ``k`` must be
+    at most 4 (the truth tables feed the 4-variable NPN machinery).
+    """
+    if not 1 <= k <= 4:
+        raise ValueError(f"cut size must be between 1 and 4, got {k}")
+    cuts: Dict[int, List[Cut]] = {}
+    for pi in net.pi_nodes():
+        cuts[pi] = [Cut((pi,), _TRIVIAL_TABLE)]
+    const_cuts = [Cut((), 0)]
+
+    fanins_store = net._fanins
+    for node in net._topology():
+        fanins = fanins_store[node]
+        child_lists = []
+        for f in fanins:
+            fn = f >> 1
+            child_lists.append(const_cuts if fn == CONST_NODE else cuts[fn])
+
+        seen: Set[Tuple[int, ...]] = set()
+        merged: List[Tuple[Tuple[int, ...], Sequence[Cut]]] = []
+        for combo in _merge_combinations(child_lists, k):
+            union: Set[int] = set()
+            for cut in combo:
+                union.update(cut.leaves)
+            leaves = tuple(sorted(union))
+            if leaves in seen:
+                continue
+            seen.add(leaves)
+            merged.append((leaves, combo))
+
+        merged.sort(key=lambda item: (len(item[0]), item[0]))
+        kept: List[Cut] = []
+        kept_sets: List[Set[int]] = []
+        for leaves, combo in merged:
+            leaf_set = set(leaves)
+            # A cut dominated by a smaller kept cut adds nothing.
+            if any(s <= leaf_set for s in kept_sets):
+                continue
+            kept.append(Cut(leaves, _merge_table(net, fanins, combo, leaves)))
+            kept_sets.append(leaf_set)
+            if len(kept) >= cut_limit:
+                break
+        kept.append(Cut((node,), _TRIVIAL_TABLE))
+        cuts[node] = kept
+    return cuts
+
+
+def _merge_combinations(child_lists: List[List[Cut]], k: int) -> Iterable[Sequence[Cut]]:
+    """Cross product of the fanin cut lists, pruned by the leaf bound.
+
+    Written as explicit nested loops (two- and three-fanin fast paths) so a
+    partial union exceeding ``k`` leaves skips the remaining inner loops.
+    """
+    if len(child_lists) == 2:
+        first, second = child_lists
+        for a in first:
+            a_set = set(a.leaves)
+            if len(a_set) > k:
+                continue
+            for b in second:
+                union = a_set.union(b.leaves)
+                if len(union) <= k:
+                    yield (a, b)
+    elif len(child_lists) == 3:
+        first, second, third = child_lists
+        for a in first:
+            a_set = set(a.leaves)
+            if len(a_set) > k:
+                continue
+            for b in second:
+                ab = a_set.union(b.leaves)
+                if len(ab) > k:
+                    continue
+                for c in third:
+                    union = ab.union(c.leaves)
+                    if len(union) <= k:
+                        yield (a, b, c)
+    else:  # pragma: no cover - no current network has another arity
+        from itertools import product
+
+        for combo in product(*child_lists):
+            union: Set[int] = set()
+            for cut in combo:
+                union.update(cut.leaves)
+            if len(union) <= k:
+                yield combo
+
+
+def cut_cone(net, root: int, leaves: Sequence[int]) -> List[int]:
+    """Gate nodes between ``root`` (inclusive) and the cut ``leaves``.
+
+    Topological order (fanins first).  Every path from ``root`` downward is
+    stopped by a leaf — the defining property of a cut — so the walk never
+    reaches a primary input that is not a leaf.
+    """
+    leaf_set = set(leaves)
+    fanins_store = net._fanins
+    order: List[int] = []
+    visited = set(leaf_set)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node < 0:
+            order.append(~node)
+            continue
+        if node in visited:
+            continue
+        visited.add(node)
+        stack.append(~node)
+        for f in fanins_store[node]:
+            fn = f >> 1
+            if fn not in visited and fanins_store[fn] is not None:
+                stack.append(fn)
+    return order
+
+
+def mffc_nodes(net, root: int, leaves: Sequence[int]) -> Set[int]:
+    """Maximum fanout-free cone of ``root`` with respect to a cut.
+
+    The set of gate nodes (including ``root``) that would be reclaimed if
+    every reference to ``root`` were redirected elsewhere: simulated
+    dereferencing over the cone, stopping at the cut leaves.  This is
+    exactly the cascade :meth:`LogicNetwork.substitute` performs, so
+    ``len(mffc_nodes(...))`` is the size gain of deleting the cone.
+    """
+    leaf_set = set(leaves)
+    fanins_store = net._fanins
+    refs: Dict[int, int] = {}
+    mffc: Set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        mffc.add(node)
+        for f in fanins_store[node]:
+            fn = f >> 1
+            if fn in leaf_set or fanins_store[fn] is None:
+                continue
+            remaining = refs.get(fn, net._ref[fn]) - 1
+            refs[fn] = remaining
+            if remaining == 0:
+                stack.append(fn)
+    return mffc

@@ -1,0 +1,441 @@
+"""NPN canonicalization of ≤4-input functions and the rewriting database.
+
+Boolean rewriting replaces the cone over an enumerated cut
+(:mod:`repro.network.cuts`) with a precomputed structure implementing the
+same function.  Storing one structure per *function* would need 2^16
+entries; storing one per *NPN class* — functions equal up to input
+Negation, input Permutation and output Negation — needs only 222.  This
+module provides the three pieces:
+
+* the transform algebra: :class:`NpnTransform` (input permutation, input
+  complementation mask, output complementation) with ``apply`` / ``invert``
+  / ``compose``, all operating on 16-bit truth tables in the 4-variable
+  space (smaller functions are first padded with :func:`extend_table`);
+* :func:`npn_canonical`: the canonical representative of a table plus the
+  recorded transform mapping the table onto it.  The full 65,536-entry
+  map is derived once per process by a breadth-first closure over the
+  transform group's generators (adjacent swaps, single-input negations,
+  output negation), each implemented as an O(1) mask-and-shift on the
+  table — far cheaper than scoring all 768 transforms per function;
+* the structure database: for every canonical class, a precomputed MIG
+  and AIG implementation (:class:`DbEntry`), derived exhaustively over
+  the classes by Shannon/XOR decomposition with structural hashing and
+  polished by the repository's own size optimizers, stored as a replayable
+  program over four abstract inputs.
+
+Truth-table convention: bit ``m`` of a table is the function value when
+input ``i`` carries bit ``i`` of the minterm index ``m``.
+``apply_transform(f, t)`` returns ``g`` with ``g(x) = f(y) ^ t.output_neg``
+where ``y[t.perm[j]] = x[j] ^ t.input_neg[j]`` — i.e. the transform
+describes how the argument's inputs are wired onto ``f``'s inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..core.signal import CONST_FALSE, CONST_NODE, CONST_TRUE, negate_if
+
+__all__ = [
+    "NpnTransform",
+    "IDENTITY_TRANSFORM",
+    "NUM_NPN_CLASSES",
+    "PROJECTIONS",
+    "apply_transform",
+    "invert_transform",
+    "compose_transforms",
+    "extend_table",
+    "npn_canonical",
+    "npn_representatives",
+    "DbEntry",
+    "get_structure",
+    "replay_structure",
+]
+
+#: Number of NPN equivalence classes of functions of at most 4 variables.
+NUM_NPN_CLASSES = 222
+
+_FULL = 0xFFFF
+
+#: Projection table of variable ``i`` in the 4-variable space.
+PROJECTIONS = (0xAAAA, 0xCCCC, 0xF0F0, 0xFF00)
+_VAR = PROJECTIONS
+
+
+class NpnTransform(NamedTuple):
+    """An element of the NPN transform group on 4-variable functions."""
+
+    perm: Tuple[int, int, int, int]
+    input_neg: int
+    output_neg: bool
+
+
+IDENTITY_TRANSFORM = NpnTransform((0, 1, 2, 3), 0, False)
+
+# Transforms are interned: the group has only 768 elements, and the
+# canonical map references one per table, so sharing instances keeps the
+# 65,536-entry map small.
+_TRANSFORM_CACHE: Dict[Tuple[Tuple[int, ...], int, bool], NpnTransform] = {}
+
+
+def _intern(perm: Tuple[int, ...], input_neg: int, output_neg: bool) -> NpnTransform:
+    key = (perm, input_neg, output_neg)
+    cached = _TRANSFORM_CACHE.get(key)
+    if cached is None:
+        cached = NpnTransform(perm, input_neg, output_neg)
+        _TRANSFORM_CACHE[key] = cached
+    return cached
+
+
+def apply_transform(table: int, transform: NpnTransform) -> int:
+    """Apply ``transform`` to a 16-bit table (the semantic definition)."""
+    perm = transform.perm
+    neg = transform.input_neg
+    out = 0
+    for m2 in range(16):
+        m = 0
+        for j in range(4):
+            if ((m2 >> j) & 1) ^ ((neg >> j) & 1):
+                m |= 1 << perm[j]
+        if (table >> m) & 1:
+            out |= 1 << m2
+    return out ^ (_FULL if transform.output_neg else 0)
+
+
+def invert_transform(transform: NpnTransform) -> NpnTransform:
+    """The group inverse: ``apply(apply(f, t), invert(t)) == f``."""
+    perm = transform.perm
+    iperm = [0, 0, 0, 0]
+    for j, p in enumerate(perm):
+        iperm[p] = j
+    neg = 0
+    for i in range(4):
+        neg |= ((transform.input_neg >> iperm[i]) & 1) << i
+    return _intern(tuple(iperm), neg, transform.output_neg)
+
+
+def compose_transforms(first: NpnTransform, second: NpnTransform) -> NpnTransform:
+    """The transform equivalent to applying ``first`` then ``second``."""
+    p1, n1, o1 = first
+    p2, n2, o2 = second
+    perm = tuple(p1[p2[j]] for j in range(4))
+    neg = 0
+    for j in range(4):
+        neg |= (((n2 >> j) & 1) ^ ((n1 >> p2[j]) & 1)) << j
+    return _intern(perm, neg, o1 ^ o2)
+
+
+def extend_table(table: int, num_vars: int) -> int:
+    """Pad a table over ``num_vars`` variables into the 4-variable space."""
+    width = 1 << num_vars
+    for _ in range(4 - num_vars):
+        table |= table << width
+        width <<= 1
+    return table
+
+
+# --------------------------------------------------------------------- #
+# Canonical map (derived once per process)
+# --------------------------------------------------------------------- #
+def _generators():
+    """The transform group's generators as (fast-op, NpnTransform) pairs.
+
+    Each fast op is the O(1) mask-and-shift equivalent of applying the
+    paired transform with :func:`apply_transform`; the agreement of the
+    two implementations is checked by ``tests/network/test_npn.py``.
+    """
+    gens = []
+    for i in range(4):
+        hi = _VAR[i]
+        lo = hi ^ _FULL
+        shift = 1 << i
+        gens.append(
+            (
+                lambda t, hi=hi, lo=lo, shift=shift: ((t & lo) << shift)
+                | ((t & hi) >> shift),
+                _intern((0, 1, 2, 3), 1 << i, False),
+            )
+        )
+    for i, j in ((0, 1), (1, 2), (2, 3)):
+        m10 = _VAR[i] & (_VAR[j] ^ _FULL)
+        m01 = (_VAR[i] ^ _FULL) & _VAR[j]
+        keep = _FULL ^ m10 ^ m01
+        d = (1 << j) - (1 << i)
+        perm = [0, 1, 2, 3]
+        perm[i], perm[j] = j, i
+        gens.append(
+            (
+                lambda t, keep=keep, m10=m10, m01=m01, d=d: (t & keep)
+                | ((t >> d) & m10)
+                | ((t << d) & m01),
+                _intern(tuple(perm), 0, False),
+            )
+        )
+    gens.append((lambda t: t ^ _FULL, _intern((0, 1, 2, 3), 0, True)))
+    return gens
+
+
+_CANON: Optional[List[Tuple[int, NpnTransform]]] = None
+
+
+def _canonical_map() -> List[Tuple[int, NpnTransform]]:
+    """``table -> (canonical table, transform table→canonical)`` for all 2^16."""
+    global _CANON
+    if _CANON is not None:
+        return _CANON
+    canon: List[Optional[Tuple[int, NpnTransform]]] = [None] * (1 << 16)
+    gens = _generators()
+    for seed in range(1 << 16):
+        if canon[seed] is not None:
+            continue
+        # Closure of the orbit; each member records its transform from seed.
+        orbit: Dict[int, NpnTransform] = {seed: IDENTITY_TRANSFORM}
+        stack = [seed]
+        while stack:
+            t = stack.pop()
+            from_seed = orbit[t]
+            for fast, gen in gens:
+                t2 = fast(t)
+                if t2 not in orbit:
+                    orbit[t2] = compose_transforms(from_seed, gen)
+                    stack.append(t2)
+        rep = min(orbit)
+        to_rep = orbit[rep]
+        for t, from_seed in orbit.items():
+            # seed = apply(t, invert(from_seed)); rep = apply(seed, to_rep).
+            canon[t] = (rep, compose_transforms(invert_transform(from_seed), to_rep))
+    _CANON = canon
+    return canon
+
+
+def npn_canonical(table: int) -> Tuple[int, NpnTransform]:
+    """Canonical NPN representative of a 16-bit table plus the transform.
+
+    The transform ``t`` satisfies ``apply_transform(table, t) == canonical``.
+    """
+    return _canonical_map()[table & _FULL]
+
+
+def npn_representatives() -> List[int]:
+    """The sorted canonical representatives (exactly 222 of them)."""
+    return sorted({rep for rep, _ in _canonical_map()})
+
+
+# --------------------------------------------------------------------- #
+# Structure database
+# --------------------------------------------------------------------- #
+class DbEntry(NamedTuple):
+    """A replayable implementation of one canonical function.
+
+    ``ops`` is a gate program over abstract operand literals encoded as
+    ``(ref << 1) | complement`` with ``ref`` 0 = constant 0, 1–4 = the four
+    canonical inputs, ``5 + i`` = the output of ``ops[i]``.  ``output`` is
+    the literal of the function's result; ``size``/``depth`` are the gate
+    count and logic depth of the structure (inputs at depth 0).
+    """
+
+    ops: Tuple[Tuple[int, ...], ...]
+    output: int
+    size: int
+    depth: int
+
+
+_DB: Dict[Tuple[str, int], DbEntry] = {}
+
+
+def get_structure(kind: str, canonical_table: int) -> DbEntry:
+    """Best known ``kind`` ("mig" or "aig") structure for a canonical class."""
+    key = (kind, canonical_table)
+    entry = _DB.get(key)
+    if entry is None:
+        entry = _derive_structure(kind, canonical_table)
+        _DB[key] = entry
+    return entry
+
+
+def replay_structure(net, entry: DbEntry, inputs) -> int:
+    """Instantiate ``entry`` in ``net`` over four input signals.
+
+    Goes through the subclass builder (``_build_gate``), so structural
+    hashing and the trivial simplifications apply and already-present
+    subgraphs are reused rather than duplicated.
+    """
+    signals = [CONST_FALSE, *inputs]
+    for op in entry.ops:
+        fanins = tuple(signals[lit >> 1] ^ (lit & 1) for lit in op)
+        signals.append(net._build_gate(fanins))
+    return signals[entry.output >> 1] ^ (entry.output & 1)
+
+
+def _cofactors(table: int, var: int) -> Tuple[int, int]:
+    """Negative and positive cofactor, both padded over the full space."""
+    shift = 1 << var
+    hi = table & _VAR[var]
+    lo = table & (_VAR[var] ^ _FULL)
+    return lo | (lo << shift), hi | (hi >> shift)
+
+
+def _support_size(table: int) -> int:
+    count = 0
+    for i in range(4):
+        c0, c1 = _cofactors(table, i)
+        if c0 != c1:
+            count += 1
+    return count
+
+
+def _literal_majority(tab: int) -> Optional[Tuple[int, int, int]]:
+    """Detect ``tab == M(±x_i, ±x_j, ±x_k)``; returns the three literals.
+
+    Literals are encoded as ``(variable << 1) | complement``.  A majority
+    of literals is the one shape Shannon decomposition can never recover
+    as a single MIG node, so it is matched explicitly.
+    """
+    for i in range(4):
+        for j in range(i + 1, 4):
+            for k in range(j + 1, 4):
+                for polarity in range(8):
+                    a = _VAR[i] ^ (_FULL if polarity & 1 else 0)
+                    b = _VAR[j] ^ (_FULL if polarity & 2 else 0)
+                    c = _VAR[k] ^ (_FULL if polarity & 4 else 0)
+                    if tab == (a & b) | (a & c) | (b & c):
+                        return (
+                            (i << 1) | (polarity & 1),
+                            (j << 1) | ((polarity >> 1) & 1),
+                            (k << 1) | ((polarity >> 2) & 1),
+                        )
+    return None
+
+
+def _synthesize_into(net, table: int, variables) -> int:
+    """Build ``table`` in ``net`` by Shannon/XOR/majority decomposition.
+
+    Intermediate functions are memoized and every gate goes through the
+    network's hashing builder, so shared sub-functions materialise once.
+    A network exposing ``maj`` (the MIG) additionally gets majority-shaped
+    decompositions: an explicit majority-of-literals match and the unate
+    Shannon form ``f = M(x, f_x, f_x')`` (valid whenever one cofactor
+    implies the other), which is what makes the database structures
+    majority-native rather than transliterated AND/OR trees.
+    """
+    memo: Dict[int, int] = {}
+    maj = getattr(net, "maj", None)
+
+    def synth(tab: int) -> int:
+        if tab == 0:
+            return CONST_FALSE
+        if tab == _FULL:
+            return CONST_TRUE
+        for i in range(4):
+            if tab == _VAR[i]:
+                return variables[i]
+            if tab == _VAR[i] ^ _FULL:
+                return variables[i] ^ 1
+        cached = memo.get(tab)
+        if cached is not None:
+            return cached
+        cached = memo.get(tab ^ _FULL)
+        if cached is not None:
+            return cached ^ 1
+        if maj is not None:
+            literals = _literal_majority(tab)
+            if literals is not None:
+                result = maj(*(variables[lit >> 1] ^ (lit & 1) for lit in literals))
+                memo[tab] = result
+                return result
+        best = None
+        for i in range(4):
+            c0, c1 = _cofactors(tab, i)
+            if c0 == c1:
+                continue
+            # Prefer an XOR split (both cofactors collapse into one cone),
+            # then the split yielding the simplest pair of cofactors.
+            score = (0 if c1 == c0 ^ _FULL else 1, _support_size(c0) + _support_size(c1))
+            if best is None or score < best[0]:
+                best = (score, i, c0, c1)
+        _, i, c0, c1 = best
+        x = variables[i]
+        if c0 == 0:
+            result = net.and_(x, synth(c1))
+        elif c1 == 0:
+            result = net.and_(x ^ 1, synth(c0))
+        elif c0 == _FULL:
+            result = net.or_(x ^ 1, synth(c1))
+        elif c1 == _FULL:
+            result = net.or_(x, synth(c0))
+        elif c1 == c0 ^ _FULL:
+            result = net.xor_(x, synth(c0))
+        elif c0 & (c1 ^ _FULL) == 0:
+            # f_x' implies f_x: f = x·f_x + f_x' — a single majority node
+            # on a MIG, an AND+OR pair elsewhere.
+            if maj is not None:
+                result = maj(x, synth(c1), synth(c0))
+            else:
+                result = net.or_(net.and_(x, synth(c1)), synth(c0))
+        elif c1 & (c0 ^ _FULL) == 0:
+            # f_x implies f_x': the mirrored unate form on x'.
+            if maj is not None:
+                result = maj(x ^ 1, synth(c0), synth(c1))
+            else:
+                result = net.or_(net.and_(x ^ 1, synth(c0)), synth(c1))
+        else:
+            result = net.mux_(x, synth(c1), synth(c0))
+        memo[tab] = result
+        return result
+
+    return synth(table)
+
+
+def _build_candidate(kind: str, table: int):
+    """One fresh 4-input network implementing ``table``."""
+    if kind == "mig":
+        from ..core.mig import Mig
+
+        net = Mig()
+    elif kind == "aig":
+        from ..aig.aig import Aig
+
+        net = Aig()
+    else:
+        raise ValueError(f"unknown database kind {kind!r}")
+    variables = [net.add_pi(f"v{i}") for i in range(4)]
+    net.add_po(_synthesize_into(net, table, variables), "f")
+    if kind == "mig":
+        from ..core.size_opt import optimize_size
+
+        optimize_size(net, effort=1)
+    else:
+        from ..aig.balance import balance
+
+        balanced = balance(net)
+        if (balanced.num_gates, balanced.depth()) < (net.num_gates, net.depth()):
+            net = balanced
+    return net
+
+
+def _derive_structure(kind: str, table: int) -> DbEntry:
+    """Derive the class entry: best of the direct and complemented builds."""
+    best: Optional[DbEntry] = None
+    for output_neg in (False, True):
+        net = _build_candidate(kind, table ^ (_FULL if output_neg else 0))
+        entry = _extract_program(net, output_neg)
+        if best is None or (entry.size, entry.depth) < (best.size, best.depth):
+            best = entry
+    return best
+
+
+def _extract_program(net, output_neg: bool) -> DbEntry:
+    """Serialise the PO cone of a 4-input network into a :class:`DbEntry`."""
+    ref_of: Dict[int, int] = {CONST_NODE: 0}
+    for index, pi in enumerate(net.pi_nodes()):
+        ref_of[pi] = 1 + index
+    depth_of: Dict[int, int] = {}
+    ops: List[Tuple[int, ...]] = []
+    for node in net._topology():
+        fanins = net._fanins[node]
+        ops.append(tuple((ref_of[f >> 1] << 1) | (f & 1) for f in fanins))
+        ref_of[node] = 5 + len(ops) - 1
+        depth_of[node] = 1 + max(depth_of.get(f >> 1, 0) for f in fanins)
+    (po,) = net.po_signals()
+    output = (ref_of[po >> 1] << 1) | ((po & 1) ^ output_neg)
+    return DbEntry(tuple(ops), output, len(ops), depth_of.get(po >> 1, 0))

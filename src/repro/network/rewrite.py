@@ -1,0 +1,238 @@
+"""DAG-aware Boolean cut rewriting over any :class:`LogicNetwork`.
+
+The engine behind ABC-style ``rewrite``: enumerate k-feasible cuts
+(:mod:`repro.network.cuts`), NPN-canonicalize each cut function, fetch the
+precomputed optimal structure for its class (:mod:`repro.network.npn`) and
+replace the cone when doing so shrinks the network.  The gain accounting is
+*shared-logic aware*:
+
+* the nodes freed by a replacement are the root's maximum fanout-free cone
+  with respect to the cut (exactly what the substitution cascade reclaims);
+* the nodes added are counted by a **dry run** of the database structure
+  against the live structural-hash table, so subgraphs that already exist
+  cost nothing — except when the hit lands inside the cone being freed,
+  which is then counted as an addition (it will survive the replacement);
+* optionally, zero-gain replacements are applied too: they do not shrink
+  the network now, but they canonicalize structure so later nodes strash
+  into it (ABC applies the same policy in ``rewrite -z`` spirit).
+
+Because node functions (over the primary inputs) never change — every
+in-place update the kernel performs substitutes functionally equal signals
+— a cut's truth table stays valid even after earlier rewrites restructure
+the cone it was enumerated from; the engine only re-checks that the cut's
+leaves are still alive.
+
+MIG passes additionally bound the *level* of the replacement
+(``max_level_growth=0`` guarantees the network depth never increases,
+since a node's level can only influence its fanouts monotonically).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.signal import CONST_FALSE, make_signal
+from .cuts import enumerate_cuts, mffc_nodes
+from .npn import (
+    extend_table,
+    get_structure,
+    invert_transform,
+    npn_canonical,
+    replay_structure,
+)
+
+__all__ = ["cut_rewrite"]
+
+
+def cut_rewrite(
+    net,
+    kind: str,
+    k: int = 4,
+    cut_limit: int = 8,
+    allow_zero_gain: bool = False,
+    max_level_growth: Optional[int] = None,
+) -> Dict[str, int]:
+    """Run one cut-rewriting sweep over ``net`` in place.
+
+    ``kind`` selects the structure database ("mig" or "aig") and must match
+    the network's gate semantics.  Returns a stats dictionary with the
+    number of rewrites applied and the total size gain realised.
+    """
+    cuts = enumerate_cuts(net, k=k, cut_limit=cut_limit)
+    order = list(net._topology())
+    dead = net._dead
+    level = net._level
+    applied = 0
+    gain_total = 0
+    zero_gain_applied = 0
+    aliased = 0
+
+    for root in order:
+        if dead[root]:
+            continue
+        best = None  # (gain, -est_level, entry, inputs)
+        for cut in cuts.get(root, ()):
+            leaves = cut.leaves
+            if len(leaves) == 1 and leaves[0] == root:
+                continue  # the trivial cut rewrites nothing
+            if any(dead[leaf] for leaf in leaves):
+                continue
+            canonical, transform = npn_canonical(extend_table(cut.table, len(leaves)))
+            entry = get_structure(kind, canonical)
+            inputs = _structure_inputs(leaves, transform)
+            mffc = mffc_nodes(net, root, leaves)
+            limit = len(mffc) if allow_zero_gain else len(mffc) - 1
+            dry = _dry_run(net, entry, inputs, mffc, level, limit)
+            if dry is None:
+                continue
+            added, est_level, output_node = dry
+            if output_node == root:
+                continue  # the structure resolves to the node itself
+            gain = len(mffc) - added
+            if max_level_growth is not None and est_level > level[root] + max_level_growth:
+                continue
+            candidate = (gain, -est_level)
+            if best is None or candidate > (best[0], best[1]):
+                best = (gain, -est_level, entry, inputs)
+        if best is None:
+            continue
+        # Every surviving candidate already meets the gain threshold: the
+        # dry-run's ``max_new`` bound rejects additions beyond len(mffc)
+        # (len(mffc) - 1 without zero-gain), so gain >= 0 (>= 1) here.
+        gain, _, entry, inputs = best
+        replacement = replay_structure(net, entry, inputs[:4]) ^ inputs[4]
+        if (replacement >> 1) == root:
+            continue
+        if not net.substitute(root, replacement):
+            continue  # replacement reconverges above the root; skip it
+        if not dead[root]:
+            # A fanout of the root collapsed back onto it during the
+            # substitution cascade (the root's function is a structural
+            # alias of part of its fanout), so the root — and through it
+            # the whole cone the gain assumed freed — stays alive.  The
+            # replacement is now a functional duplicate: merge it back
+            # onto the root and count nothing for this rewrite.
+            duplicate = replacement >> 1
+            if (
+                duplicate != root
+                and not dead[duplicate]
+                and net._fanins[duplicate] is not None
+            ):
+                net.substitute(duplicate, (root << 1) | (replacement & 1))
+            aliased += 1
+            continue
+        applied += 1
+        gain_total += gain
+        if gain == 0:
+            zero_gain_applied += 1
+
+    net.cleanup()
+    return {
+        "rewrites": applied,
+        "zero_gain": zero_gain_applied,
+        "aliased": aliased,
+        "gain": gain_total,
+    }
+
+
+def _structure_inputs(leaves: Tuple[int, ...], transform) -> List[int]:
+    """Wire the cut leaves onto the database structure's four inputs.
+
+    The recorded transform maps the cut function onto its canonical
+    representative; its inverse ``(perm, neg, out)`` says how to express
+    the cut function *from* the canonical structure:
+    input ``perm[j]`` of the structure receives leaf ``j`` (complemented
+    when ``neg`` has bit ``j``), and the structure's output is complemented
+    when ``out`` is set — which :func:`_dry_run` and the replay both apply
+    through the output literal of the entry, so it is folded here into the
+    last element of the returned list.
+    """
+    inverse = invert_transform(transform)
+    inputs = [CONST_FALSE] * 4
+    for j in range(4):
+        source = make_signal(leaves[j]) if j < len(leaves) else CONST_FALSE
+        inputs[inverse.perm[j]] = source ^ ((inverse.input_neg >> j) & 1)
+    # Output polarity of the canonical-to-cut mapping.
+    inputs.append(1 if inverse.output_neg else 0)
+    return inputs
+
+
+def _dry_run(net, entry, inputs, mffc, level, max_new):
+    """Cost a structure against the live network without building it.
+
+    Mirrors the builder: trivial simplification first, then the structural
+    hash (both polarity forms).  New gates get negative placeholder node
+    ids; gates that hit the hash table are free unless the hit lies inside
+    the cone being freed (``mffc``) — reusing such a node keeps it *and its
+    transitive fanins inside the cone* alive, so the whole surviving
+    closure is charged (once per node).  Returns ``(added,
+    estimated_level, output_node)`` or ``None`` when more than ``max_new``
+    additions would be needed.
+    """
+    strash = net._strash
+    dead = net._dead
+    output_neg = inputs[-1]
+    signals = [CONST_FALSE, *inputs[:4]]
+    est_level: Dict[int, int] = {}
+    dry: Dict[Tuple[int, ...], int] = {}
+    counted = set()
+    added = 0
+    placeholder = -1
+
+    def level_of(node: int) -> int:
+        if node < 0:
+            return est_level[node]
+        return level[node]
+
+    for op in entry.ops:
+        fanins = tuple(signals[lit >> 1] ^ (lit & 1) for lit in op)
+        simplified = net._gate_simplify(fanins)
+        if simplified is not None:
+            signals.append(simplified)
+            continue
+        # Normalize exactly like the builder, so the probe below visits the
+        # same keys in the same order and predicts the same node identity.
+        norm_fanins, norm_compl = net._normalize_gate(fanins)
+        found = None
+        first_key = None
+        for key, out_compl in net._strash_candidates(norm_fanins):
+            if first_key is None:
+                first_key = key
+            existing = strash.get(key)
+            if existing is not None and not dead[existing]:
+                found = (existing, out_compl ^ norm_compl)
+                break
+            existing = dry.get(key)
+            if existing is not None:
+                found = (existing, out_compl ^ norm_compl)
+                break
+        if found is not None:
+            node, out_compl = found
+            if node in mffc and node not in counted:
+                # The reused node and every MFFC-internal node in its
+                # fanin cone survive the replacement: charge each once.
+                survivors = [node]
+                while survivors:
+                    survivor = survivors.pop()
+                    if survivor in counted:
+                        continue
+                    counted.add(survivor)
+                    added += 1
+                    if added > max_new:
+                        return None
+                    for f in net._fanins[survivor]:
+                        fn = f >> 1
+                        if fn in mffc and fn not in counted:
+                            survivors.append(fn)
+            signals.append((node << 1) | (1 if out_compl else 0))
+            continue
+        added += 1
+        if added > max_new:
+            return None
+        est_level[placeholder] = 1 + max(level_of(f >> 1) for f in fanins)
+        dry[first_key] = placeholder
+        signals.append((placeholder << 1) | (1 if norm_compl else 0))
+        placeholder -= 1
+
+    output = signals[entry.output >> 1] ^ (entry.output & 1) ^ output_neg
+    return added, level_of(output >> 1), output >> 1

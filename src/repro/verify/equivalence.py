@@ -5,7 +5,14 @@ construction, and this module is how the test-suite and the flows *prove*
 it on concrete instances:
 
 * networks with at most :data:`EXHAUSTIVE_LIMIT` primary inputs are compared
-  by exhaustive bit-parallel simulation (a complete decision procedure);
+  by exhaustive bit-parallel simulation (a complete decision procedure),
+  run in blocks of at most 2^16 minterms so the simulation patterns stay
+  bounded Python ints regardless of the input count — a 2^n-bit monolithic
+  pattern for an n-input circuit would be a megabit-sized integer at
+  n = 20;
+* every check starts with a cheap 64-vector random pre-filter, so
+  inequivalent pairs fail fast without paying for a full exhaustive (or
+  wide random) sweep;
 * larger networks are compared by randomized bit-parallel simulation with a
   configurable number of vectors (a falsifier: it can only find
   counterexamples, not prove equivalence) and, optionally, by building
@@ -29,7 +36,15 @@ __all__ = [
 ]
 
 #: Networks with at most this many primary inputs are checked exhaustively.
-EXHAUSTIVE_LIMIT = 14
+#: Chunked simulation keeps the per-block patterns at 2^16 bits, so the
+#: limit is bounded by runtime (2^(n-16) simulation sweeps), not memory.
+EXHAUSTIVE_LIMIT = 16
+
+#: Exhaustive simulation runs in blocks of at most this many minterms.
+_BLOCK_BITS = 16
+
+#: Width of the fail-fast random pre-filter run before any complete check.
+_PREFILTER_VECTORS = 64
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,17 @@ def check_equivalence(
             f"PO count mismatch: {first.num_pos} vs {second.num_pos}"
         )
 
+    # The prefilter only pays off in front of the exhaustive backend (the
+    # wide-network paths below always start with a random sweep that
+    # subsumes it — same seed, more vectors), and only when the exhaustive
+    # sweep it precedes is actually wider than the prefilter itself.
+    if _PREFILTER_VECTORS < (1 << first.num_pis) and first.num_pis <= EXHAUSTIVE_LIMIT:
+        prefilter = _check_random(
+            first, second, _PREFILTER_VECTORS, seed, method="random-prefilter"
+        )
+        if not prefilter.equivalent:
+            return prefilter
+
     if first.num_pis <= EXHAUSTIVE_LIMIT:
         return _check_exhaustive(first, second)
 
@@ -90,41 +116,53 @@ def assert_equivalent(first, second, **kwargs) -> None:
 # --------------------------------------------------------------------- #
 # Internals
 # --------------------------------------------------------------------- #
-def _input_patterns_exhaustive(num_pis: int) -> List[int]:
-    num_bits = 1 << num_pis
+def _input_patterns_block(num_pis: int, start: int, block_bits: int) -> List[int]:
+    """Simulation patterns covering minterms ``start .. start + block_bits``.
+
+    Inputs whose period fits inside the block get the usual alternating
+    projection pattern; higher inputs are constant across the whole block
+    (their value is the corresponding bit of ``start``, which is always a
+    multiple of the block size).
+    """
+    mask = (1 << block_bits) - 1
     patterns = []
     for i in range(num_pis):
-        block = (1 << (1 << i)) - 1
+        period_half = 1 << i
+        if period_half >= block_bits:
+            patterns.append(mask if (start >> i) & 1 else 0)
+            continue
+        block = (1 << period_half) - 1
         pattern = 0
-        period = 1 << (i + 1)
-        for start in range(1 << i, num_bits, period):
-            pattern |= block << start
+        for offset in range(period_half, block_bits, period_half << 1):
+            pattern |= block << offset
         patterns.append(pattern)
     return patterns
 
 
 def _check_exhaustive(first, second) -> EquivalenceResult:
     num_pis = first.num_pis
-    num_bits = 1 << num_pis
-    patterns = _input_patterns_exhaustive(num_pis)
-    out_first = first.simulate_patterns(patterns, num_bits)
-    out_second = second.simulate_patterns(patterns, num_bits)
-    for index, (a, b) in enumerate(zip(out_first, out_second)):
-        if a != b:
-            diff = a ^ b
-            bit = (diff & -diff).bit_length() - 1
-            counterexample = [bool((bit >> k) & 1) for k in range(num_pis)]
-            return EquivalenceResult(
-                equivalent=False,
-                method="exhaustive",
-                counterexample=counterexample,
-                failing_output=index,
-            )
+    total = 1 << num_pis
+    block_bits = min(total, 1 << _BLOCK_BITS)
+    for start in range(0, total, block_bits):
+        patterns = _input_patterns_block(num_pis, start, block_bits)
+        out_first = first.simulate_patterns(patterns, block_bits)
+        out_second = second.simulate_patterns(patterns, block_bits)
+        for index, (a, b) in enumerate(zip(out_first, out_second)):
+            if a != b:
+                diff = a ^ b
+                minterm = start + (diff & -diff).bit_length() - 1
+                counterexample = [bool((minterm >> k) & 1) for k in range(num_pis)]
+                return EquivalenceResult(
+                    equivalent=False,
+                    method="exhaustive",
+                    counterexample=counterexample,
+                    failing_output=index,
+                )
     return EquivalenceResult(equivalent=True, method="exhaustive")
 
 
 def _check_random(
-    first, second, num_vectors: int, seed: int
+    first, second, num_vectors: int, seed: int, method: str = "random-simulation"
 ) -> EquivalenceResult:
     rng = random.Random(seed)
     num_pis = first.num_pis
@@ -138,11 +176,11 @@ def _check_random(
             counterexample = [bool((patterns[k] >> bit) & 1) for k in range(num_pis)]
             return EquivalenceResult(
                 equivalent=False,
-                method="random-simulation",
+                method=method,
                 counterexample=counterexample,
                 failing_output=index,
             )
-    return EquivalenceResult(equivalent=True, method="random-simulation")
+    return EquivalenceResult(equivalent=True, method=method)
 
 
 def _check_bdd(first, second) -> EquivalenceResult:

@@ -38,6 +38,21 @@ class TestMightyFlow:
             mighty_optimize(mig, rounds=1, depth_effort=1)
             assert mig.depth() <= before
 
+    @pytest.mark.parametrize("name", SMALL)
+    def test_boolean_rewrite_never_worse_than_algebraic(self, name):
+        """mighty + cut rewriting dominates the purely algebraic flow."""
+        algebraic = build_benchmark(name, Mig)
+        mighty_optimize(algebraic, rounds=1, depth_effort=1)
+        combined = build_benchmark(name, Mig)
+        reference = build_benchmark(name, Mig)
+        result = mighty_optimize(
+            combined, rounds=1, depth_effort=1, boolean_rewrite=True
+        )
+        assert check_equivalence(combined, reference, num_random_vectors=1024).equivalent
+        assert combined.depth() <= algebraic.depth()
+        assert combined.num_gates <= algebraic.num_gates
+        assert "mig_rewrite" in [m.name for m in result.pass_metrics]
+
 
 class TestOptimizationExperiment:
     def test_compare_optimization_row(self):

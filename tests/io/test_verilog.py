@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.bench_circuits import build_benchmark
+from repro.bench_circuits import benchmark_names, build_benchmark
 from repro.core import Mig, random_aoig_mig, random_mig
+from repro.flows import mighty_optimize
 from repro.io import read_verilog, write_mig_verilog, write_netlist_verilog
 from repro.mapping import map_mig
 from repro.verify import check_equivalence
@@ -23,6 +24,26 @@ class TestRoundTrip:
         mig = build_benchmark("alu4", Mig)
         parsed = read_verilog(write_mig_verilog(mig))
         assert check_equivalence(mig, parsed).equivalent
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_bench_suite_roundtrip_property(self, name):
+        """write → read → equivalent, for every circuit of the suite."""
+        mig = build_benchmark(name, Mig)
+        parsed = read_verilog(write_mig_verilog(mig))
+        assert parsed.pi_names() == mig.pi_names()
+        assert parsed.po_names() == mig.po_names()
+        result = check_equivalence(mig, parsed, num_random_vectors=256)
+        assert result.equivalent, (
+            f"{name}: round-trip not equivalent "
+            f"(output {result.failing_output}, cex {result.counterexample})"
+        )
+
+    def test_optimized_network_roundtrip(self):
+        """Polarity-normalized (complement-heavy) structures survive too."""
+        mig = build_benchmark("count", Mig)
+        mighty_optimize(mig, rounds=1, depth_effort=1)
+        parsed = read_verilog(write_mig_verilog(mig))
+        assert check_equivalence(mig, parsed, num_random_vectors=512).equivalent
 
     def test_constants_and_inverters(self):
         mig = Mig()
@@ -53,6 +74,36 @@ class TestReader:
             a, b, c = i & 1, (i >> 1) & 1, (i >> 2) & 1
             assert ((tts[0] >> i) & 1) == ((a + b + c) & 1)
             assert ((tts[1] >> i) & 1) == (1 if a + b + c >= 2 else 0)
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a ^ b & c | d",
+            "~a ^ ~b",
+            "a | b ^ c & d | ~c",
+            "a ^ b ^ c",
+            "~(a | b) ^ c & d",
+            "a & ~b & c ^ d",
+            "a ^ b | c",
+            "~a & b ^ c",
+        ],
+    )
+    def test_operator_precedence_matches_verilog(self, expression):
+        """``~`` > ``&`` > ``^`` > ``|``, like Verilog (and Python bitwise)."""
+        text = (
+            "module m (a, b, c, d, y); input a, b, c, d; output y; "
+            f"assign y = {expression}; endmodule"
+        )
+        (table,) = read_verilog(text).truth_tables()
+        for minterm in range(16):
+            env = {
+                "a": minterm & 1,
+                "b": (minterm >> 1) & 1,
+                "c": (minterm >> 2) & 1,
+                "d": (minterm >> 3) & 1,
+            }
+            expected = eval(expression, {"__builtins__": {}}, env) & 1
+            assert ((table >> minterm) & 1) == expected, (expression, minterm)
 
     def test_rejects_undefined_net(self):
         text = "module m (a, y); input a; output y; assign y = a & ghost; endmodule"

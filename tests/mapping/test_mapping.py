@@ -55,6 +55,40 @@ class TestMappingCorrectness:
         assert histogram.get("XOR2", 0) + histogram.get("XNOR2", 0) == 1
         assert_equivalent(mig, netlist)
 
+    def test_xor_match_absorbs_interior_cells(self):
+        # Regression: the seed mapper emitted the matched cone's interior
+        # AND/OR cells before the XOR match and left them dangling.
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.xor_(a, b), "f")
+        netlist = map_mig(mig)
+        assert netlist.num_cells == 1
+        assert netlist.instances[0].cell in ("XOR2", "XNOR2")
+
+    def test_aig_majority_cone_matches_majority_cell(self):
+        # Cut + NPN matching recognises the 4-node AND/OR majority cone in
+        # an AIG and maps it onto a single MAJ3/MIN3 cell — something the
+        # hand-written XOR-only pattern matcher could never do.
+        aig = Aig()
+        a, b, c = (aig.add_pi(n) for n in "abc")
+        aig.add_po(aig.maj_(a, b, c), "m")
+        netlist = map_aig(aig)
+        histogram = netlist.cell_histogram()
+        assert histogram.get("MAJ3", 0) + histogram.get("MIN3", 0) == 1
+        assert "AND2" not in histogram and "OR2" not in histogram
+        assert_equivalent(aig, netlist)
+
+    def test_shared_interior_blocks_absorption(self):
+        # A cone whose interior drives other logic must not be absorbed.
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        x = mig.xor_(a, b)
+        # Re-use the OR(a, b) interior node of the XOR cone elsewhere.
+        mig.add_po(x, "f")
+        mig.add_po(mig.or_(a, b), "g")
+        netlist = map_mig(mig)
+        assert_equivalent(mig, netlist)
+
     def test_majority_node_uses_majority_cell(self):
         mig = Mig()
         a, b, c = (mig.add_pi(n) for n in "abc")

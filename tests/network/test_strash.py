@@ -1,0 +1,54 @@
+"""Regression tests for structural-hash completeness in the kernel.
+
+In-place fanin rewrites (``_replace_in_node`` during a substitution
+cascade) can store a MIG node under a polarity form the builder would not
+choose (e.g. a sorted triple with two complemented fanins).  The builder
+must still find such nodes — probing only the normalized key would
+materialise a functional duplicate, which also breaks the gain accounting
+of the cut-rewriting dry run (a "free" strash hit that the replay then
+cannot reuse).
+"""
+
+from repro.core import Mig
+from repro.core.signal import negate, node_of
+from repro.verify import assert_equivalent
+
+
+def _parent_with_denormalized_key():
+    """Build a MIG whose live parent node sits under a 2-complement key."""
+    mig = Mig()
+    a, b, c, d, e = (mig.add_pi(n) for n in "abcde")
+    inner = mig.maj(a, b, c)
+    parent = mig.maj(inner, negate(d), e)
+    mig.add_po(parent, "f")
+    replacement = mig.maj(a, b, d)
+    mig.add_po(replacement, "g")
+    # The cascade rewrites `parent` in place to M(repl', d', e) and stores
+    # it under the sorted raw tuple, which has two complemented fanins.
+    assert mig.substitute(node_of(inner), negate(replacement))
+    return mig, node_of(parent)
+
+
+def test_builder_reuses_node_stored_under_complemented_key():
+    mig, parent = _parent_with_denormalized_key()
+    stored_keys = [key for key, node in mig._strash.items() if node == parent]
+    assert stored_keys, "parent must still be strashed"
+    assert any(
+        sum(f & 1 for f in key) >= 2 for key in stored_keys
+    ), "scenario must exercise a non-normalized stored form"
+    before = mig.num_gates
+    rebuilt = mig.maj(*mig.fanins(parent))
+    assert node_of(rebuilt) == parent, "builder must hit the stored node"
+    assert mig.num_gates == before, "no duplicate node may be created"
+
+
+def test_builder_polarity_of_complemented_hit_is_correct():
+    mig, parent = _parent_with_denormalized_key()
+    reference = mig.copy()
+    fanins = mig.fanins(parent)
+    # M(f') built from the complemented fanins must come back as the
+    # complement edge of the stored node (majority self-duality).
+    rebuilt = mig.maj(*(negate(f) for f in fanins))
+    assert rebuilt == negate(parent << 1)
+    mig.check_integrity()
+    assert_equivalent(mig, reference)

@@ -45,7 +45,9 @@ class TestEquivalence:
         assert result.method == "random-simulation"
 
     def test_bdd_backed_check(self):
-        mig = random_aoig_mig(16, 40, num_pos=3, seed=6)
+        # 17 inputs: above the (chunk-raised) exhaustive limit, so the BDD
+        # backend is what proves equivalence.
+        mig = random_aoig_mig(17, 40, num_pos=3, seed=6)
         result = check_equivalence(mig, mig.copy(), use_bdd=True)
         assert result.equivalent
         assert result.method == "bdd"
