@@ -14,7 +14,13 @@ from .size_opt import SizeOptStats, optimize_size
 from .depth_opt import DepthOptStats, optimize_depth
 from .activity_opt import ActivityOptStats, optimize_activity
 from .reshape import ReshapeParams, reshape
-from .generation import mig_from_truth_tables, random_aoig_mig, random_mig
+from .generation import (
+    mig_from_truth_tables,
+    mutate_network,
+    random_aoig_mig,
+    random_mig,
+    random_network,
+)
 
 __all__ = [
     "Mig",
@@ -35,5 +41,7 @@ __all__ = [
     "reshape",
     "random_mig",
     "random_aoig_mig",
+    "random_network",
+    "mutate_network",
     "mig_from_truth_tables",
 ]

@@ -8,12 +8,18 @@ diverse networks), by the examples, and by the synthetic benchmark suite in
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Type
 
 from .mig import Mig
-from .signal import negate
+from .signal import make_signal, negate, node_of
 
-__all__ = ["random_mig", "random_aoig_mig", "mig_from_truth_tables"]
+__all__ = [
+    "random_mig",
+    "random_aoig_mig",
+    "random_network",
+    "mutate_network",
+    "mig_from_truth_tables",
+]
 
 
 def random_mig(
@@ -93,6 +99,147 @@ def random_aoig_mig(
     for index, sig in enumerate(gate_signals[-num_pos:]):
         mig.add_po(sig, f"y{index}")
     return mig
+
+
+def random_network(
+    network_cls: Type = Mig,
+    num_pis: int = 6,
+    num_gates: int = 30,
+    num_pos: Optional[int] = None,
+    seed: int = 1,
+    gate_mix: str = "aoig",
+    complemented_edge_probability: float = 0.3,
+    depth_bias: float = 0.0,
+):
+    """Seeded random network over any :class:`LogicNetwork` subclass.
+
+    The generic generator behind the test-suite's shared fuzz fixture
+    (``tests/conftest.py::network_forge``): one construction recipe for
+    MIGs *and* AIGs, parameterized by
+
+    * ``gate_mix`` — ``"aoig"`` (AND/OR only, the paper's transposed-AOIG
+      starting point), ``"maj"`` (pure majority gates; AIGs synthesize
+      them from AND/OR), or ``"mixed"`` (AND/OR/XOR/MAJ/MUX soup, the
+      hardest case for strashing and cut enumeration);
+    * ``depth_bias`` — probability of drawing fanins from the most recent
+      quarter of the signal pool, which stretches the network depth-wise
+      instead of producing wide shallow DAGs.
+
+    Strashing and gate-level simplification run at creation time, so the
+    realised gate count can be below ``num_gates``.
+    """
+    if num_pis < 3:
+        raise ValueError("random_network needs at least 3 primary inputs")
+    if gate_mix not in ("aoig", "maj", "mixed"):
+        raise ValueError(f"unknown gate_mix {gate_mix!r}")
+    rng = random.Random(seed)
+    net = network_cls()
+    net.name = f"forge_{gate_mix}_{num_pis}_{num_gates}_{seed}"
+    signals: List[int] = [net.add_pi(f"x{i}") for i in range(num_pis)]
+    maj = getattr(net, "maj", None) or getattr(net, "maj_", None)
+
+    def pick(count: int) -> List[int]:
+        if depth_bias and rng.random() < depth_bias and len(signals) > 4:
+            pool = signals[-max(4, len(signals) // 4):]
+        else:
+            pool = signals
+        chosen = rng.sample(pool, min(count, len(pool)))
+        while len(chosen) < count:
+            chosen.append(rng.choice(signals))
+        return [
+            negate(s) if rng.random() < complemented_edge_probability else s
+            for s in chosen
+        ]
+
+    for _ in range(num_gates):
+        if gate_mix == "maj":
+            kind = "maj"
+        elif gate_mix == "aoig":
+            kind = rng.choice(("and", "or"))
+        else:
+            kind = rng.choice(("and", "or", "xor", "maj", "mux"))
+        if kind == "maj":
+            signals.append(maj(*pick(3)))
+        elif kind == "mux":
+            signals.append(net.mux_(*pick(3)))
+        elif kind == "xor":
+            signals.append(net.xor_(*pick(2)))
+        elif kind == "or":
+            signals.append(net.or_(*pick(2)))
+        else:
+            signals.append(net.and_(*pick(2)))
+
+    gate_signals = signals[num_pis:] or signals
+    if num_pos is None:
+        num_pos = max(1, len(gate_signals) // 8)
+    # Guard the slice: gate_signals[-0:] would be the *whole* list.
+    chosen = gate_signals[-num_pos:] if num_pos > 0 else []
+    for index, sig in enumerate(chosen):
+        net.add_po(sig, f"y{index}")
+    return net
+
+
+def mutate_network(network, seed: int = 1):
+    """Seeded single-gate mutation of a network copy; the original is untouched.
+
+    Returns ``(mutant, description)``.  One of three fault classes is
+    injected — a complemented primary output, a complemented fanin edge,
+    or a rewired fanin — mimicking the single-gate bugs an optimization
+    pass could realistically introduce.  Used by the differential tests
+    and the SAT-CEC acceptance harness to prove that every complete
+    equivalence backend refutes broken networks with replayable
+    counterexamples.
+
+    A mutation is *almost always* a functional change but can be masked
+    by downstream don't-cares; callers that need a guaranteed-different
+    mutant should confirm with an independent check and draw a new seed
+    otherwise.
+    """
+    rng = random.Random(seed)
+    mutant = network.copy()
+    gates = list(mutant.topological_order())
+    kinds = []
+    if mutant.num_pos:
+        kinds.append("negate_po")
+    if gates:
+        kinds.extend(("negate_fanin", "rewire_fanin"))
+    if not kinds:
+        raise ValueError("cannot mutate a network with no gates and no POs")
+    kind = rng.choice(kinds)
+
+    if kind == "negate_po":
+        index = rng.randrange(mutant.num_pos)
+        mutant.set_po(index, negate(mutant.po_signals()[index]))
+        return mutant, {"kind": kind, "po": index}
+
+    node = gates[rng.randrange(len(gates))]
+    fanins = list(mutant.fanins(node))
+    slot = rng.randrange(len(fanins))
+
+    if kind == "negate_fanin":
+        fanins[slot] = negate(fanins[slot])
+        mutant.replace_fanins(node, tuple(fanins))
+        return mutant, {"kind": kind, "node": node, "slot": slot}
+
+    candidates = [make_signal(n) for n in mutant.pi_nodes()]
+    candidates.extend(make_signal(g) for g in gates if g != node)
+    for _ in range(16):
+        target = candidates[rng.randrange(len(candidates))]
+        if rng.random() < 0.5:
+            target = negate(target)
+        if node_of(target) == node_of(fanins[slot]):
+            continue
+        rewired = list(fanins)
+        rewired[slot] = target
+        try:
+            mutant.replace_fanins(node, tuple(rewired))
+        except ValueError:
+            continue  # would create a combinational cycle; redraw
+        return mutant, {"kind": kind, "node": node, "slot": slot}
+
+    # All rewire attempts hit cycles: fall back to a PO polarity fault.
+    mutant.set_po(0, negate(mutant.po_signals()[0]))
+    return mutant, {"kind": "negate_po", "po": 0}
 
 
 def mig_from_truth_tables(truth_tables: Sequence[int], num_vars: int) -> Mig:

@@ -19,6 +19,7 @@ from .engine import (
     MigRewrite,
     Pass,
     PassMetrics,
+    PassVerificationError,
     Pipeline,
     RebuildPass,
     Repeat,
@@ -64,6 +65,7 @@ __all__ = [
     "Repeat",
     "run_rebuild_chain",
     "PassMetrics",
+    "PassVerificationError",
     "FlowResult",
     "Balance",
     "DepthOpt",

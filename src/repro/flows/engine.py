@@ -38,6 +38,7 @@ from ..core.size_opt import eliminate
 __all__ = [
     "PassMetrics",
     "FlowResult",
+    "PassVerificationError",
     "Pass",
     "FunctionPass",
     "RebuildPass",
@@ -53,6 +54,19 @@ __all__ = [
     "ActivityOpt",
     "Cleanup",
 ]
+
+
+class PassVerificationError(AssertionError):
+    """A pass broke functional equivalence (per-pass ``verify=`` hook)."""
+
+    def __init__(self, pass_name: str, result) -> None:
+        self.pass_name = pass_name
+        self.result = result
+        super().__init__(
+            f"pass {pass_name!r} is NOT function-preserving "
+            f"(method={result.method}, output index={result.failing_output}, "
+            f"counterexample={result.counterexample})"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -221,10 +235,17 @@ class Pipeline:
         passes: Sequence[Pass],
         name: str = "pipeline",
         measure_activity: bool = False,
+        verify=None,
     ) -> None:
         self.passes = list(passes)
         self.name = name
         self.measure_activity = measure_activity
+        # ``verify`` is the opt-in per-pass self-certification hook:
+        # ``True`` checks every pass with the default equivalence dispatch
+        # (exhaustive / SAT-sweep depending on width); a callable
+        # ``f(reference, network) -> EquivalenceResult`` substitutes its
+        # own checker (e.g. a budgeted SAT sweep for very large networks).
+        self.verify = verify
 
     def _activity(self, network) -> Optional[float]:
         if not self.measure_activity:
@@ -232,6 +253,15 @@ class Pipeline:
         from ..analysis.metrics import measure_activity
 
         return measure_activity(network)
+
+    def _verifier(self):
+        if not self.verify:
+            return None
+        if callable(self.verify):
+            return self.verify
+        from ..verify.equivalence import check_equivalence
+
+        return check_equivalence
 
     def run(self, network, collect: Optional[List[PassMetrics]] = None) -> FlowResult:
         """Run every pass in order on ``network`` (modified in place).
@@ -244,6 +274,7 @@ class Pipeline:
         initial_size = network.num_gates
         initial_depth = network.depth()
         start = time.perf_counter()
+        verifier = self._verifier()
         # One pass's activity_after is the next pass's activity_before, so
         # the (expensive) measurement runs once per boundary, not twice.
         activity = self._activity(network)
@@ -251,11 +282,22 @@ class Pipeline:
             size_before = network.num_gates
             depth_before = network.depth()
             activity_before = activity
+            reference = network.copy() if verifier is not None else None
             pass_start = time.perf_counter()
             if pass_.composite:
                 details = pass_.apply(network, collect=metrics)
             else:
                 details = pass_.apply(network)
+            runtime_s = time.perf_counter() - pass_start
+            details = details or {}
+            if verifier is not None:
+                check = verifier(reference, network)
+                details["verify"] = {
+                    "equivalent": check.equivalent,
+                    "method": check.method,
+                }
+                if not check.equivalent:
+                    raise PassVerificationError(pass_.name, check)
             activity = self._activity(network)
             metrics.append(
                 PassMetrics(
@@ -264,10 +306,10 @@ class Pipeline:
                     size_after=network.num_gates,
                     depth_before=depth_before,
                     depth_after=network.depth(),
-                    runtime_s=time.perf_counter() - pass_start,
+                    runtime_s=runtime_s,
                     activity_before=activity_before,
                     activity_after=activity,
-                    details=details or {},
+                    details=details,
                 )
             )
         return FlowResult(

@@ -63,6 +63,7 @@ def mighty_pipeline(
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
     boolean_rewrite: bool = False,
+    verify=None,
 ) -> Pipeline:
     """Build the MIGhty flow as a declarative pass pipeline.
 
@@ -83,6 +84,12 @@ def mighty_pipeline(
     benchmark by ``benchmarks/acceptance_cut_rewrite.py`` over the Table I
     suite), not a structural guarantee — later heuristic rounds start
     from a different network and could in principle land elsewhere.
+
+    ``verify`` enables per-pass self-certification: ``True`` proves every
+    top-level pass function-preserving through the equivalence-checking
+    dispatch (exhaustive simulation or SAT sweeping depending on input
+    width) and raises :class:`~repro.flows.engine.PassVerificationError`
+    on the first violation; a callable supplies a custom checker.
     """
     round_passes: List[Pass] = [
         DepthOpt(effort=depth_effort, reshape_params=reshape_params),
@@ -99,6 +106,7 @@ def mighty_pipeline(
             Repeat(round_passes, rounds=max(1, rounds), name="mighty_round"),
         ],
         name="mighty",
+        verify=verify,
     )
 
 
@@ -111,8 +119,13 @@ def mighty_optimize(
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
     boolean_rewrite: bool = False,
+    verify=None,
 ) -> MightyResult:
-    """Run the MIGhty delay-oriented flow in place."""
+    """Run the MIGhty delay-oriented flow in place.
+
+    With ``verify`` (see :func:`mighty_pipeline`) the run self-certifies:
+    every top-level pass is equivalence-checked against its input network.
+    """
     start = time.perf_counter()
     pipeline = mighty_pipeline(
         rounds=rounds,
@@ -121,6 +134,7 @@ def mighty_optimize(
         activity_recovery=activity_recovery,
         reshape_params=reshape_params,
         boolean_rewrite=boolean_rewrite,
+        verify=verify,
     )
     result = pipeline.run(mig)
 

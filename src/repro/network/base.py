@@ -519,6 +519,33 @@ class LogicNetwork:
             patterns.append(pattern)
         return self.simulate_patterns(patterns, num_bits)
 
+    def gate_truth_table(self, node: int) -> int:
+        """Local truth table of a gate over its fanin *edge* values.
+
+        Bit ``m`` of the result is the gate output when fanin edge ``i``
+        (complementation already applied) carries bit ``(m >> i) & 1``.
+        Works for any subclass by driving :meth:`_eval_gate` with
+        projection patterns — the CNF encoder of :mod:`repro.verify.cnf`
+        uses this to Tseitin-encode MIGs and AIGs uniformly.
+        """
+        fanins = self.fanins(node)
+        k = len(fanins)
+        num_bits = 1 << k
+        mask = (1 << num_bits) - 1
+        # A dict suffices for ``_eval_gate``'s ``values[node]`` lookups and
+        # keeps this O(k) per call instead of allocating a num_nodes list.
+        values: Dict[int, int] = {}
+        for i, f in enumerate(fanins):
+            projection = 0
+            period = 1 << (i + 1)
+            block = (1 << (1 << i)) - 1
+            for start in range(1 << i, num_bits, period):
+                projection |= block << start
+            # Pre-complement so the *edge* value seen by ``_eval_gate`` is
+            # the plain projection of input ``i``.
+            values[f >> 1] = projection ^ (mask if f & 1 else 0)
+        return self._eval_gate(values, fanins, mask)
+
     @staticmethod
     def _edge_value(values: List[int], signal: int, mask: int) -> int:
         v = values[node_of(signal)]

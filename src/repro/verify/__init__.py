@@ -1,5 +1,30 @@
-"""Verification utilities (combinational equivalence checking)."""
+"""Verification utilities: CEC dispatch, CNF encoding, CDCL SAT, sweeping."""
 
-from .equivalence import EquivalenceResult, assert_equivalent, check_equivalence
+from .equivalence import (
+    EXHAUSTIVE_LIMIT,
+    CounterexampleError,
+    EquivalenceResult,
+    assert_equivalent,
+    check_equivalence,
+)
+from .cnf import GateGraph, MiterCnf, build_miter, encode_network
+from .sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .sweep import SweepOutcome, sat_sweep
 
-__all__ = ["EquivalenceResult", "check_equivalence", "assert_equivalent"]
+__all__ = [
+    "EquivalenceResult",
+    "CounterexampleError",
+    "check_equivalence",
+    "assert_equivalent",
+    "EXHAUSTIVE_LIMIT",
+    "GateGraph",
+    "MiterCnf",
+    "build_miter",
+    "encode_network",
+    "SatSolver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "SweepOutcome",
+    "sat_sweep",
+]

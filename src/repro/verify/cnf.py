@@ -1,0 +1,467 @@
+"""Tseitin CNF encoding of logic networks, and miter construction.
+
+The SAT-based equivalence path (:mod:`repro.verify.sweep`) needs one
+uniform view of *any* of the library's network types — MIGs, AIGs, and
+mapped standard-cell netlists.  This module provides it as a
+:class:`GateGraph`: a flattened, type-agnostic gate list over shared
+primary-input variables into which several networks can be encoded side by
+side.  Each gate is ``(output var, truth table, input literals)`` where the
+truth table is the *pure* local function (majority, AND, a library cell's
+function — obtained from :meth:`LogicNetwork.gate_truth_table` or from
+``Cell.evaluate``) and edge complementations live in the literals.
+
+On top of the raw Tseitin translation the graph applies, per gate:
+
+* constant folding and removal of duplicate / complementary / don't-care
+  inputs;
+* input-phase and output-phase normalization plus input sorting, yielding
+  a small canonical form;
+* structural hashing across *all* encoded networks — structure shared
+  between the two sides of a miter becomes literally the same variable,
+  which is what makes optimization-before/after miters cheap to prove;
+* clause generation from two-level prime-implicant covers of the on- and
+  off-set (AND gates cost 3 clauses, XOR 4, MAJ 6 — not the naive
+  ``2^k`` minterm clauses).
+
+Literals use the ``(var << 1) | complement`` convention shared with
+:mod:`repro.core.signal` and :mod:`repro.verify.sat`.  Variable 0 is the
+constant-false variable (pinned by a unit clause), variables ``1 ..
+num_pis`` are the shared primary inputs.
+
+:func:`build_miter` composes two same-interface networks into a single
+graph plus per-output XOR literals; asserting any XOR literal (or the
+aggregated :attr:`MiterCnf.output`) asks the SAT solver for a
+distinguishing input pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sat import SatSolver
+
+__all__ = ["GateGraph", "MiterCnf", "encode_network", "build_miter", "eval_gate"]
+
+#: Literals of the pinned constant variable 0.
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+_TT_AND2 = 0x8
+_TT_XOR2 = 0x6
+_TT_OR2 = 0xE
+_TT_MAJ3 = 0xE8
+
+
+def _projection(i: int, k: int) -> int:
+    """Truth-table projection pattern of input ``i`` among ``k`` inputs."""
+    num_bits = 1 << k
+    block = (1 << (1 << i)) - 1
+    pattern = 0
+    for start in range(1 << i, num_bits, 1 << (i + 1)):
+        pattern |= block << start
+    return pattern
+
+
+def _tt_restrict(tt: int, k: int, i: int, value: int) -> int:
+    """Cofactor ``tt`` with input ``i`` fixed to ``value`` (drops input ``i``)."""
+    out = 0
+    pos = 0
+    for m in range(1 << k):
+        if ((m >> i) & 1) == value:
+            out |= ((tt >> m) & 1) << pos
+            pos += 1
+    return out
+
+
+def _tt_flip_input(tt: int, k: int, i: int) -> int:
+    """Truth table with input ``i`` complemented."""
+    out = 0
+    for m in range(1 << k):
+        out |= ((tt >> (m ^ (1 << i))) & 1) << m
+    return out
+
+
+def _tt_permute(tt: int, k: int, perm: Sequence[int]) -> int:
+    """Reorder inputs: new input ``i`` is old input ``perm[i]``."""
+    out = 0
+    for m in range(1 << k):
+        m_orig = 0
+        for i in range(k):
+            m_orig |= ((m >> i) & 1) << perm[i]
+        out |= ((tt >> m_orig) & 1) << m
+    return out
+
+
+def _prime_cover(tt: int, k: int, target: int) -> List[Tuple[int, int]]:
+    """Greedy prime-implicant cover of ``{m : tt[m] == target}``.
+
+    Cubes are ``(mask, value)`` pairs: input ``i`` is constrained to bit
+    ``i`` of ``value`` iff bit ``i`` of ``mask`` is set.  Exact enough for
+    the tiny (k <= 4) local functions of logic gates and library cells.
+    """
+    minterms = [m for m in range(1 << k) if ((tt >> m) & 1) == target]
+    if not minterms:
+        return []
+    cubes = {((1 << k) - 1, m) for m in minterms}
+    primes: set = set()
+    while cubes:
+        merged = set()
+        next_cubes = set()
+        cube_list = sorted(cubes)
+        for a in range(len(cube_list)):
+            mask_a, val_a = cube_list[a]
+            for b in range(a + 1, len(cube_list)):
+                mask_b, val_b = cube_list[b]
+                if mask_a != mask_b:
+                    continue
+                diff = val_a ^ val_b
+                if diff and not (diff & (diff - 1)):
+                    next_cubes.add((mask_a & ~diff, val_a & ~diff))
+                    merged.add(cube_list[a])
+                    merged.add(cube_list[b])
+        primes |= cubes - merged
+        cubes = next_cubes
+
+    remaining = set(minterms)
+    cover: List[Tuple[int, int]] = []
+    candidates = sorted(primes)
+    while remaining:
+        best = max(
+            candidates,
+            key=lambda c: sum(1 for m in remaining if (m & c[0]) == c[1]),
+        )
+        cover.append(best)
+        remaining -= {m for m in remaining if (m & best[0]) == best[1]}
+    return cover
+
+
+_COVER_CACHE: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
+
+
+def _cached_cover(tt: int, k: int, target: int) -> List[Tuple[int, int]]:
+    key = (tt, k, target)
+    cover = _COVER_CACHE.get(key)
+    if cover is None:
+        cover = _COVER_CACHE[key] = _prime_cover(tt, k, target)
+    return cover
+
+
+class GateGraph:
+    """A flattened multi-network Tseitin context over shared primary inputs."""
+
+    def __init__(self, num_pis: int) -> None:
+        self.num_pis = num_pis
+        self.num_vars = 1 + num_pis
+        # Unit clause pinning variable 0 to false.
+        self.clauses: List[List[int]] = [[TRUE_LIT]]
+        #: Gate list in topological order: ``(out_var, tt, in_lits)``.
+        self.gates: List[Tuple[int, int, Tuple[int, ...]]] = []
+        self._strash: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    def pi_lit(self, index: int) -> int:
+        """Literal of the ``index``-th shared primary input."""
+        if not 0 <= index < self.num_pis:
+            raise IndexError(f"PI index {index} out of range")
+        return (1 + index) << 1
+
+    def pi_vars(self) -> List[int]:
+        return list(range(1, 1 + self.num_pis))
+
+    # ------------------------------------------------------------------ #
+    # Gate construction
+    # ------------------------------------------------------------------ #
+    def add_gate(self, tt: int, in_lits: Sequence[int]) -> int:
+        """Add (or reuse) a gate computing ``tt`` over ``in_lits``.
+
+        Returns the literal of the gate function.  The gate is normalized
+        (constants folded, duplicate and don't-care inputs removed, input
+        and output phases canonicalized, inputs sorted) and structurally
+        hashed, so logically identical gates — across all networks encoded
+        into this graph — share one variable.
+        """
+        lits = list(in_lits)
+        k = len(lits)
+
+        # Fold constant and duplicate inputs.
+        changed = True
+        while changed:
+            changed = False
+            for i in range(k):
+                var = lits[i] >> 1
+                if var == 0:
+                    tt = _tt_restrict(tt, k, i, lits[i] & 1)
+                    del lits[i]
+                    k -= 1
+                    changed = True
+                    break
+                for j in range(i):
+                    if (lits[j] >> 1) != var:
+                        continue
+                    if lits[j] == lits[i]:
+                        # x_i == x_j: keep only the minterms where they agree.
+                        tt = _tt_restrict(
+                            _tt_merge_equal(tt, k, j, i, flip=0), k, i, 0
+                        )
+                    else:
+                        tt = _tt_restrict(
+                            _tt_merge_equal(tt, k, j, i, flip=1), k, i, 0
+                        )
+                    del lits[i]
+                    k -= 1
+                    changed = True
+                    break
+                if changed:
+                    break
+
+        # Drop don't-care inputs.
+        i = 0
+        while i < k:
+            if _tt_restrict(tt, k, i, 0) == _tt_restrict(tt, k, i, 1):
+                tt = _tt_restrict(tt, k, i, 0)
+                del lits[i]
+                k -= 1
+            else:
+                i += 1
+
+        # Normalize input phases into the truth table and sort inputs.
+        for i in range(k):
+            if lits[i] & 1:
+                tt = _tt_flip_input(tt, k, i)
+                lits[i] ^= 1
+        perm = sorted(range(k), key=lambda i: lits[i])
+        if perm != list(range(k)):
+            tt = _tt_permute(tt, k, perm)
+            lits = [lits[i] for i in perm]
+
+        # Trivial functions after folding.
+        if k == 0:
+            return TRUE_LIT if tt & 1 else FALSE_LIT
+        if k == 1:
+            return lits[0] if tt == 0b10 else lits[0] ^ 1
+
+        # Normalize output phase: stored gates satisfy f(0, ..., 0) = 0.
+        out_flip = tt & 1
+        if out_flip:
+            tt ^= (1 << (1 << k)) - 1
+
+        key = (tt, tuple(lits))
+        existing = self._strash.get(key)
+        if existing is not None:
+            return (existing << 1) | out_flip
+
+        var = self.num_vars
+        self.num_vars += 1
+        self._strash[key] = var
+        self.gates.append((var, tt, tuple(lits)))
+        self._emit_clauses(var, tt, lits, k)
+        return (var << 1) | out_flip
+
+    def _emit_clauses(self, var: int, tt: int, lits: List[int], k: int) -> None:
+        out_lit = var << 1
+        append = self.clauses.append
+        # Off-set cubes imply the output false, on-set cubes imply it true.
+        for target, out in ((0, out_lit ^ 1), (1, out_lit)):
+            for mask, value in _cached_cover(tt, k, target):
+                clause = [
+                    lits[i] ^ ((value >> i) & 1)
+                    for i in range(k)
+                    if (mask >> i) & 1
+                ]
+                clause.append(out)
+                append(clause)
+
+    def xor_lit(self, a: int, b: int) -> int:
+        return self.add_gate(_TT_XOR2, (a, b))
+
+    def or_tree(self, lits: Sequence[int]) -> int:
+        """Balanced OR over ``lits`` (FALSE for an empty sequence)."""
+        layer = list(lits)
+        if not layer:
+            return FALSE_LIT
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.add_gate(_TT_OR2, (layer[i], layer[i + 1])))
+            if len(layer) & 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    # ------------------------------------------------------------------ #
+    # Consumption
+    # ------------------------------------------------------------------ #
+    def load_into(self, solver: SatSolver) -> None:
+        """Allocate this graph's variables and clauses into ``solver``."""
+        solver.ensure_vars(self.num_vars)
+        for clause in self.clauses:
+            solver.add_clause(clause)
+
+    def simulate(self, pi_patterns: Sequence[int], num_bits: int) -> List[int]:
+        """Bit-parallel evaluation; returns one pattern per variable."""
+        if len(pi_patterns) != self.num_pis:
+            raise ValueError(
+                f"expected {self.num_pis} PI patterns, got {len(pi_patterns)}"
+            )
+        mask = (1 << num_bits) - 1
+        values = [0] * self.num_vars
+        for i, pattern in enumerate(pi_patterns):
+            values[1 + i] = pattern & mask
+        for var, tt, lits in self.gates:
+            values[var] = eval_gate(values, tt, lits, mask)
+        return values
+
+    def lit_value(self, values: Sequence[int], lit: int, mask: int) -> int:
+        v = values[lit >> 1]
+        return (~v & mask) if lit & 1 else v
+
+
+def eval_gate(values: Sequence[int], tt: int, lits: Sequence[int], mask: int) -> int:
+    """Bit-parallel evaluation of one gate over per-variable patterns."""
+    k = len(lits)
+    # Fast paths must check the arity too: a 3-input function can share the
+    # numeric truth-table value of a 2-input one (e.g. tt 0x6 at k == 3).
+    if k == 2:
+        if tt == _TT_AND2:
+            a = values[lits[0] >> 1] ^ (mask if lits[0] & 1 else 0)
+            b = values[lits[1] >> 1] ^ (mask if lits[1] & 1 else 0)
+            return a & b
+        if tt == _TT_XOR2:
+            return (
+                values[lits[0] >> 1] ^ values[lits[1] >> 1]
+                ^ (mask if (lits[0] ^ lits[1]) & 1 else 0)
+            ) & mask
+    elif k == 3 and tt == _TT_MAJ3:
+        a = values[lits[0] >> 1] ^ (mask if lits[0] & 1 else 0)
+        b = values[lits[1] >> 1] ^ (mask if lits[1] & 1 else 0)
+        c = values[lits[2] >> 1] ^ (mask if lits[2] & 1 else 0)
+        return (a & b) | (a & c) | (b & c)
+    out = 0
+    for m in range(1 << k):
+        if not (tt >> m) & 1:
+            continue
+        term = mask
+        for i in range(k):
+            v = values[lits[i] >> 1] ^ (mask if lits[i] & 1 else 0)
+            term &= v if (m >> i) & 1 else ~v & mask
+            if not term:
+                break
+        out |= term
+    return out
+
+
+def _tt_merge_equal(tt: int, k: int, j: int, i: int, flip: int) -> int:
+    """Constrain ``x_i = x_j ^ flip`` without dropping input ``i`` yet.
+
+    Every minterm where the constraint is violated is replaced by the value
+    the function takes on the corresponding consistent minterm, so the
+    later ``_tt_restrict(tt, k, i, 0)`` (with the flip already folded into
+    bit ``j``) yields the merged function.
+    """
+    out = 0
+    for m in range(1 << k):
+        consistent = (m & ~(1 << i)) | ((((m >> j) & 1) ^ flip) << i)
+        out |= ((tt >> consistent) & 1) << m
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Network encoding (duck-typed: LogicNetwork subclasses + MappedNetlist)
+# --------------------------------------------------------------------- #
+def encode_network(graph: GateGraph, network, add_gate=None) -> List[int]:
+    """Tseitin-encode ``network`` into ``graph``; returns PO literals.
+
+    Accepts any :class:`~repro.network.base.LogicNetwork` subclass (MIG,
+    AIG) or a :class:`~repro.mapping.netlist.MappedNetlist`.  Primary
+    inputs are matched by position onto the graph's shared PI variables.
+    ``add_gate`` overrides the gate constructor — the sweeping engine
+    injects its proving/substituting wrapper here so every encoded gate is
+    canonicalized against the already-proven equivalence classes.
+    """
+    if network.num_pis != graph.num_pis:
+        raise ValueError(
+            f"network has {network.num_pis} PIs, graph expects {graph.num_pis}"
+        )
+    if add_gate is None:
+        add_gate = graph.add_gate
+    if hasattr(network, "instances") and hasattr(network, "library"):
+        return _encode_netlist(graph, network, add_gate)
+    return _encode_logic_network(graph, network, add_gate)
+
+
+def _encode_logic_network(graph: GateGraph, network, add_gate) -> List[int]:
+    node_lit = {0: FALSE_LIT}
+    for index, node in enumerate(network.pi_nodes()):
+        node_lit[node] = graph.pi_lit(index)
+    for node in network.topological_order():
+        in_lits = tuple(
+            node_lit[f >> 1] ^ (f & 1) for f in network.fanins(node)
+        )
+        node_lit[node] = add_gate(network.gate_truth_table(node), in_lits)
+    return [node_lit[po >> 1] ^ (po & 1) for po in network.po_signals()]
+
+
+_CELL_TT_CACHE: Dict[str, int] = {}
+
+
+def _cell_tt(cell) -> int:
+    tt = _CELL_TT_CACHE.get(cell.name)
+    if tt is None:
+        k = cell.num_inputs
+        mask = (1 << (1 << k)) - 1
+        tt = cell.evaluate([_projection(i, k) for i in range(k)], mask)
+        _CELL_TT_CACHE[cell.name] = tt
+    return tt
+
+
+def _encode_netlist(graph: GateGraph, netlist, add_gate) -> List[int]:
+    net_lit: Dict[str, int] = {}
+    for index, name in enumerate(netlist.pi_names):
+        net_lit[name] = graph.pi_lit(index)
+    for net, value in getattr(netlist, "_net_constants", {}).items():
+        net_lit[net] = TRUE_LIT if value else FALSE_LIT
+    for instance in netlist.instances:
+        cell = netlist.library[instance.cell]
+        # Undriven nets default to constant 0, mirroring simulate_patterns.
+        in_lits = tuple(net_lit.get(n, FALSE_LIT) for n in instance.inputs)
+        net_lit[instance.output] = add_gate(_cell_tt(cell), in_lits)
+    return [net_lit.get(n, FALSE_LIT) for n in netlist.po_nets]
+
+
+# --------------------------------------------------------------------- #
+# Miters
+# --------------------------------------------------------------------- #
+@dataclass
+class MiterCnf:
+    """Two same-interface networks encoded side by side over shared PIs."""
+
+    graph: GateGraph
+    pos_first: List[int]
+    pos_second: List[int]
+    #: Per-output XOR literals: ``xors[i]`` is true iff output ``i`` differs.
+    xors: List[int] = field(default_factory=list)
+    #: Literal of the aggregated miter output (OR of all XORs).
+    output: int = FALSE_LIT
+
+
+def build_miter(first, second) -> MiterCnf:
+    """Encode ``first`` and ``second`` into one graph with a miter on top.
+
+    The networks must agree on PI and PO counts (matched by position, like
+    :func:`repro.verify.equivalence.check_equivalence`).
+    """
+    if first.num_pis != second.num_pis:
+        raise ValueError(
+            f"PI count mismatch: {first.num_pis} vs {second.num_pis}"
+        )
+    if first.num_pos != second.num_pos:
+        raise ValueError(
+            f"PO count mismatch: {first.num_pos} vs {second.num_pos}"
+        )
+    graph = GateGraph(first.num_pis)
+    pos_first = encode_network(graph, first)
+    pos_second = encode_network(graph, second)
+    miter = MiterCnf(graph, pos_first, pos_second)
+    miter.xors = [graph.xor_lit(a, b) for a, b in zip(pos_first, pos_second)]
+    miter.output = graph.or_tree(miter.xors)
+    return miter

@@ -1,35 +1,60 @@
-"""Combinational equivalence checking.
+"""Combinational equivalence checking: the dispatch front-end.
 
-Every optimization pass in this library is function-preserving by
-construction, and this module is how the test-suite and the flows *prove*
-it on concrete instances:
+Every optimization pass in this library claims function preservation;
+this module is how the test-suite, the flows (``Pipeline(verify=...)``)
+and the acceptance harnesses *prove* it on concrete instances.  The
+checker is a dispatcher over four backends:
 
-* networks with at most :data:`EXHAUSTIVE_LIMIT` primary inputs are compared
-  by exhaustive bit-parallel simulation (a complete decision procedure),
-  run in blocks of at most 2^16 minterms so the simulation patterns stay
-  bounded Python ints regardless of the input count — a 2^n-bit monolithic
-  pattern for an n-input circuit would be a megabit-sized integer at
-  n = 20;
-* every check starts with a cheap 64-vector random pre-filter, so
-  inequivalent pairs fail fast without paying for a full exhaustive (or
-  wide random) sweep;
-* larger networks are compared by randomized bit-parallel simulation with a
-  configurable number of vectors (a falsifier: it can only find
-  counterexamples, not prove equivalence) and, optionally, by building
-  canonical BDDs of the outputs (complete, but memory-bound).
+============== ============ ================= ==============================
+method         completeness input width       notes
+============== ============ ================= ==============================
+``exhaustive`` complete     ``num_pis <= 16`` chunked bit-parallel
+                                              simulation (2^16-minterm
+                                              blocks); default for narrow
+                                              networks
+``random``     falsifier    any               ``num_random_vectors`` random
+                                              patterns; finds bugs fast,
+                                              proves nothing
+``sat-sweep``  complete*    any               simulation-guided SAT
+                                              sweeping over a shared-PI
+                                              miter (:mod:`.sweep`);
+                                              default proof engine for
+                                              wide networks; *within its
+                                              conflict budget — reports
+                                              *unknown* when exceeded
+``bdd``        complete     memory-bound      canonical ROBDDs of all
+                                              outputs; fallback when the
+                                              SAT budget blows, opt-in via
+                                              ``use_bdd``
+============== ============ ================= ==============================
 
-The two networks may be of different types (MIG vs AIG vs mapped netlist):
-anything exposing ``pi_names() / po_names() / simulate_patterns()`` works.
+The automatic dispatch (``method="auto"``) runs, in order:
+
+1. a 64-vector **random prefilter** (fail fast on inequivalent pairs);
+2. ``num_pis <= EXHAUSTIVE_LIMIT`` → **exhaustive** simulation;
+3. otherwise **random** simulation, then **SAT sweeping** for the actual
+   proof, then — only if the SAT budget was exhausted and ``use_bdd`` is
+   set — the **BDD** backend.
+
+Every backend that reports inequivalence returns a *replayable*
+counterexample, and every counterexample is validated by a one-vector
+simulation of both networks before it is returned — a bug in a proof
+engine can surface as a :class:`CounterexampleError`, never as a spurious
+verdict.  The two networks may be of different types (MIG vs AIG vs
+mapped netlist): anything exposing ``num_pis / num_pos /
+simulate_patterns()`` works, and the SAT backend additionally understands
+all three through the CNF encoder.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 __all__ = [
     "EquivalenceResult",
+    "CounterexampleError",
     "check_equivalence",
     "assert_equivalent",
     "EXHAUSTIVE_LIMIT",
@@ -45,6 +70,18 @@ _BLOCK_BITS = 16
 
 #: Width of the fail-fast random pre-filter run before any complete check.
 _PREFILTER_VECTORS = 64
+
+#: Method names accepted by :func:`check_equivalence`.
+_METHODS = ("auto", "exhaustive", "random", "bdd", "sat-sweep")
+
+
+class CounterexampleError(RuntimeError):
+    """A backend produced a counterexample that does not replay.
+
+    Raised instead of returning an inequivalence verdict that the
+    networks' own simulators contradict — a solver or encoder bug can
+    never masquerade as a refutation.
+    """
 
 
 @dataclass(frozen=True)
@@ -66,12 +103,21 @@ def check_equivalence(
     num_random_vectors: int = 4096,
     seed: int = 7,
     use_bdd: bool = False,
+    method: str = "auto",
+    sat_options: Optional[dict] = None,
 ) -> EquivalenceResult:
     """Check whether two combinational networks compute the same functions.
 
     Inputs are matched by position (both networks must have the same number
     of PIs and POs; names are not required to coincide because the baseline
     flows rename internal signals).
+
+    ``method`` selects a specific backend (see the module docstring's
+    dispatch table) or ``"auto"`` for the layered default.  ``sat_options``
+    is forwarded to :func:`repro.verify.sweep.sat_sweep` (budgets, pattern
+    counts).  With ``use_bdd`` the BDD backend backstops an
+    out-of-budget SAT sweep; without it the (incomplete) random verdict is
+    returned in that case.
     """
     if first.num_pis != second.num_pis:
         raise ValueError(
@@ -81,7 +127,27 @@ def check_equivalence(
         raise ValueError(
             f"PO count mismatch: {first.num_pos} vs {second.num_pos}"
         )
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
+    if method == "exhaustive":
+        return _validated(first, second, _check_exhaustive(first, second))
+    if method == "random":
+        return _validated(
+            first, second, _check_random(first, second, num_random_vectors, seed)
+        )
+    if method == "bdd":
+        return _validated(first, second, _check_bdd(first, second))
+    if method == "sat-sweep":
+        result = _check_sat_sweep(first, second, seed, sat_options)
+        if result is None:
+            raise RuntimeError(
+                "SAT sweep exhausted its conflict budget; raise the budget "
+                "via sat_options or use method='auto' with use_bdd=True"
+            )
+        return _validated(first, second, result)
+
+    # --- automatic dispatch ------------------------------------------- #
     # The prefilter only pays off in front of the exhaustive backend (the
     # wide-network paths below always start with a random sweep that
     # subsumes it — same seed, more vectors), and only when the exhaustive
@@ -91,15 +157,23 @@ def check_equivalence(
             first, second, _PREFILTER_VECTORS, seed, method="random-prefilter"
         )
         if not prefilter.equivalent:
-            return prefilter
+            return _validated(first, second, prefilter)
 
     if first.num_pis <= EXHAUSTIVE_LIMIT:
-        return _check_exhaustive(first, second)
+        return _validated(first, second, _check_exhaustive(first, second))
 
     result = _check_random(first, second, num_random_vectors, seed)
-    if not result.equivalent or not use_bdd:
-        return result
-    return _check_bdd(first, second)
+    if not result.equivalent:
+        return _validated(first, second, result)
+
+    proof = _check_sat_sweep(first, second, seed, sat_options)
+    if proof is not None:
+        return _validated(first, second, proof)
+    if use_bdd:
+        return _validated(first, second, _check_bdd(first, second))
+    # SAT budget exhausted, no BDD fallback requested: best effort is the
+    # (incomplete) random verdict.
+    return result
 
 
 def assert_equivalent(first, second, **kwargs) -> None:
@@ -114,7 +188,40 @@ def assert_equivalent(first, second, **kwargs) -> None:
 
 
 # --------------------------------------------------------------------- #
-# Internals
+# Counterexample validation (all refuting backends route through this)
+# --------------------------------------------------------------------- #
+def _simulate_single(network, assignment: Sequence[bool]) -> List[bool]:
+    patterns = [1 if bit else 0 for bit in assignment]
+    return [bool(v & 1) for v in network.simulate_patterns(patterns, 1)]
+
+
+def _validated(first, second, result: EquivalenceResult) -> EquivalenceResult:
+    """Replay a refuting counterexample on both networks before returning it.
+
+    Guarantees the advertised failing output really differs under the
+    advertised input vector; a backend whose counterexample does not
+    replay raises :class:`CounterexampleError` instead of polluting the
+    verdict stream.
+    """
+    if result.equivalent or result.counterexample is None:
+        return result
+    out_first = _simulate_single(first, result.counterexample)
+    out_second = _simulate_single(second, result.counterexample)
+    mismatches = [
+        index for index, (a, b) in enumerate(zip(out_first, out_second)) if a != b
+    ]
+    if not mismatches:
+        raise CounterexampleError(
+            f"backend {result.method!r} reported a counterexample that does "
+            f"not replay to any PO mismatch: {result.counterexample}"
+        )
+    if result.failing_output not in mismatches:
+        return replace(result, failing_output=mismatches[0])
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Backends
 # --------------------------------------------------------------------- #
 def _input_patterns_block(num_pis: int, start: int, block_bits: int) -> List[int]:
     """Simulation patterns covering minterms ``start .. start + block_bits``.
@@ -183,6 +290,25 @@ def _check_random(
     return EquivalenceResult(equivalent=True, method=method)
 
 
+def _check_sat_sweep(
+    first, second, seed: int, sat_options: Optional[dict]
+) -> Optional[EquivalenceResult]:
+    """SAT-sweeping backend; ``None`` when the conflict budget ran out."""
+    from .sweep import sat_sweep
+
+    outcome = sat_sweep(first, second, seed=seed, **(sat_options or {}))
+    if outcome.status == "equivalent":
+        return EquivalenceResult(equivalent=True, method="sat-sweep")
+    if outcome.status == "inequivalent":
+        return EquivalenceResult(
+            equivalent=False,
+            method="sat-sweep",
+            counterexample=outcome.counterexample,
+            failing_output=outcome.failing_output,
+        )
+    return None
+
+
 def _check_bdd(first, second) -> EquivalenceResult:
     from ..bdd.bdd import BddManager, build_output_bdds
 
@@ -194,7 +320,38 @@ def _check_bdd(first, second) -> EquivalenceResult:
     bdds_second = build_output_bdds(manager, second, order)
     for index, (a, b) in enumerate(zip(bdds_first, bdds_second)):
         if a != b:
+            counterexample = _bdd_counterexample(
+                manager, a, b, order, first.num_pis
+            )
             return EquivalenceResult(
-                equivalent=False, method="bdd", failing_output=index
+                equivalent=False,
+                method="bdd",
+                counterexample=counterexample,
+                failing_output=index,
             )
     return EquivalenceResult(equivalent=True, method="bdd")
+
+
+def _bdd_counterexample(
+    manager, a: int, b: int, variable_order: Sequence[int], num_pis: int
+) -> List[bool]:
+    """Extract a distinguishing assignment from the XOR of two BDDs.
+
+    ``a != b`` implies ``a XOR b`` is not the zero function; in a canonical
+    ROBDD every non-zero node has a path to the ONE terminal, so a single
+    top-down walk (preferring any non-zero child) finds a satisfying
+    assignment.  Unconstrained inputs default to 0.
+    """
+    # BDD level of PI k is variable_order[k]; invert for the walk.
+    pi_of_level = {level: k for k, level in enumerate(variable_order)}
+    node = manager.xor_(a, b)
+    assignment = [False] * num_pis
+    while not manager.is_terminal(node):
+        level = manager.variable_of(node)
+        high = manager.high(node)
+        if high != manager.zero():
+            assignment[pi_of_level[level]] = True
+            node = high
+        else:
+            node = manager.low(node)
+    return assignment

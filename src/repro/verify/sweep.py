@@ -1,0 +1,306 @@
+"""Simulation-guided SAT sweeping: the complete CEC backend for wide circuits.
+
+The classical FRAIG recipe (Mishchenko et al.) as a pure-python engine
+over the :mod:`repro.verify.cnf` gate graph and the
+:mod:`repro.verify.sat` CDCL solver.  Both networks are encoded — in
+topological order, over shared primary-input variables — through one
+*proving* gate constructor:
+
+1. Every gate is first **strashed** against everything encoded so far;
+   structure shared between (or within) the two sides never even reaches
+   the solver.
+2. A genuinely new gate variable is simulated against the accumulated
+   random patterns and looked up in the **candidate equivalence classes**
+   (signatures normalized up to complementation, so antivalent nodes land
+   in one class).
+3. A signature collision is discharged by **incremental SAT under
+   assumptions** — two queries per candidate pair, ``(a, ¬b)`` and
+   ``(¬a, b)``, against the clauses emitted so far.  A *proven* pair is
+   merged **by substitution**: the new gate's literal is replaced by its
+   representative, so the entire downstream cone re-converges onto the
+   representative's logic and the CNF stays the size of roughly one
+   network (this, not equality clauses, is what keeps propagation local).
+   A *refuted* pair yields a distinguishing input pattern that is **fed
+   back into the simulator**, re-splitting every candidate class before
+   the lookup is retried.  Queries that exhaust their conflict budget
+   leave the candidate unmerged — soundness never depends on a merge.
+4. After both networks are encoded, each primary-output pair is either
+   already the *same literal* (proved structurally/by merge), or is
+   decided by a final budgeted SAT call per output: UNSAT proves the
+   pair, SAT yields a counterexample, a blown budget reports *unknown*
+   so the caller can fall back to BDDs.
+
+The entry point :func:`sat_sweep` works for any pair of same-interface
+networks the CNF encoder understands (MIG, AIG, mapped netlist, mixed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cnf import GateGraph, encode_network, eval_gate
+from .sat import SAT, UNKNOWN, UNSAT, SatSolver
+
+__all__ = ["SweepOutcome", "sat_sweep"]
+
+#: Sweep verdicts.
+EQUIVALENT = "equivalent"
+INEQUIVALENT = "inequivalent"
+
+#: Safety valve: retries of a candidate lookup after refutation restarts.
+_MAX_CANDIDATE_ATTEMPTS = 32
+
+
+@dataclass
+class SweepOutcome:
+    """Result of one :func:`sat_sweep` run."""
+
+    status: str  # "equivalent" | "inequivalent" | "unknown"
+    counterexample: Optional[List[bool]] = None
+    failing_output: Optional[int] = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.status == EQUIVALENT
+
+
+class _Sweeper:
+    """Encoding-time proving context shared by both networks."""
+
+    def __init__(
+        self,
+        num_pis: int,
+        seed: int,
+        initial_patterns: int,
+        merge_conflict_budget: int,
+        max_refinements: int,
+    ) -> None:
+        self.graph = GateGraph(num_pis)
+        self.solver = SatSolver()
+        self._clause_cursor = 0
+        self.merge_conflict_budget = merge_conflict_budget
+        self.max_refinements = max_refinements
+
+        rng = random.Random(seed)
+        self.num_bits = max(64, initial_patterns)
+        self.pi_patterns = [rng.getrandbits(self.num_bits) for _ in range(num_pis)]
+        self.mask = (1 << self.num_bits) - 1
+        self.values: List[int] = [0] + [
+            p & self.mask for p in self.pi_patterns
+        ]
+
+        #: signature -> list of phase-normalized representative literals.
+        self.table: Dict[int, List[int]] = {}
+        self.reps: List[int] = []
+        for var in range(self.graph.num_vars):
+            self._register(var)
+
+        self.stats = {
+            "sat_calls": 0,
+            "merges": 0,
+            "refinements": 0,
+            "unresolved": 0,
+        }
+
+    # -- solver bookkeeping -------------------------------------------- #
+    def _sync_solver(self) -> None:
+        """Feed gates/clauses created since the last SAT query."""
+        self.solver.ensure_vars(self.graph.num_vars)
+        clauses = self.graph.clauses
+        while self._clause_cursor < len(clauses):
+            self.solver.add_clause(clauses[self._clause_cursor])
+            self._clause_cursor += 1
+
+    def model_assignment(self) -> List[bool]:
+        return [
+            self.solver.model_value((1 + i) << 1)
+            for i in range(self.graph.num_pis)
+        ]
+
+    # -- candidate classes --------------------------------------------- #
+    def _register(self, var: int) -> None:
+        sig = self.values[var]
+        phase = sig & 1
+        key = sig ^ (self.mask if phase else 0)
+        self.table.setdefault(key, []).append((var << 1) | phase)
+        self.reps.append(var)
+
+    def _learn_pattern(self) -> None:
+        """Append the solver model as a new simulation pattern and re-split.
+
+        Incremental: only the new single-bit column is evaluated through
+        the gate list and shifted onto every signature — a full-width
+        re-simulation per counterexample would cost
+        O(refinements × gates × pattern_width) on refinement-heavy runs.
+        """
+        assignment = self.model_assignment()
+        for i in range(self.graph.num_pis):
+            self.pi_patterns[i] = (self.pi_patterns[i] << 1) | int(assignment[i])
+        self.num_bits += 1
+        self.stats["refinements"] += 1
+        bit_column = [0] * self.graph.num_vars
+        for i, bit in enumerate(assignment):
+            bit_column[1 + i] = int(bit)
+        for var, tt, lits in self.graph.gates:
+            bit_column[var] = eval_gate(bit_column, tt, lits, 1)
+        values = self.values
+        for var in range(self.graph.num_vars):
+            values[var] = (values[var] << 1) | bit_column[var]
+        self.mask = (1 << self.num_bits) - 1
+        old_reps = self.reps
+        self.table = {}
+        self.reps = []
+        for var in old_reps:
+            self._register(var)
+
+    # -- the proving gate constructor ---------------------------------- #
+    def add_gate(self, tt: int, in_lits) -> int:
+        before = self.graph.num_vars
+        lit = self.graph.add_gate(tt, in_lits)
+        if self.graph.num_vars == before:
+            return lit  # constant-folded or structural hit: already canonical
+        var, gate_tt, gate_lits = self.graph.gates[-1]
+        out_flip = lit & 1
+        self.values.append(
+            eval_gate(self.values, gate_tt, gate_lits, self.mask)
+        )
+
+        refine = self.stats["refinements"] < self.max_refinements
+        for _ in range(_MAX_CANDIDATE_ATTEMPTS):
+            sig = self.values[var]
+            phase = sig & 1
+            key = sig ^ (self.mask if phase else 0)
+            cand = (var << 1) | phase
+            bucket = self.table.get(key)
+            if not bucket:
+                break
+            restart = False
+            for rep_lit in bucket:
+                verdict = self._prove_pair(rep_lit, cand, refine)
+                if verdict == "equal":
+                    self.stats["merges"] += 1
+                    # Substitution: the caller wires its cone to the
+                    # representative; ``var`` becomes a dangling alias.
+                    return rep_lit ^ phase ^ out_flip
+                if verdict == "refuted" and refine:
+                    restart = True  # signatures changed: re-key and retry
+                    break
+            if not restart:
+                break
+            refine = self.stats["refinements"] < self.max_refinements
+        self._register(var)
+        return lit
+
+    def _prove_pair(self, rep_lit: int, cand_lit: int, refine: bool) -> str:
+        self._sync_solver()
+        solver = self.solver
+        budget = self.merge_conflict_budget
+        self.stats["sat_calls"] += 1
+        res_a = solver.solve([rep_lit, cand_lit ^ 1], max_conflicts=budget)
+        if res_a == SAT:
+            if refine:
+                self._learn_pattern()
+            return "refuted"
+        self.stats["sat_calls"] += 1
+        res_b = solver.solve([rep_lit ^ 1, cand_lit], max_conflicts=budget)
+        if res_b == SAT:
+            if refine:
+                self._learn_pattern()
+            return "refuted"
+        if res_a == UNSAT and res_b == UNSAT:
+            return "equal"
+        self.stats["unresolved"] += 1
+        return "unknown"
+
+
+def sat_sweep(
+    first,
+    second,
+    seed: int = 7,
+    initial_patterns: int = 128,
+    merge_conflict_budget: int = 2_000,
+    output_conflict_budget: int = 200_000,
+    max_refinements: int = 512,
+) -> SweepOutcome:
+    """Decide equivalence of ``first`` and ``second`` by SAT sweeping.
+
+    Complete up to ``output_conflict_budget``: every primary-output pair
+    is either merged during encoding, proved by a final SAT call, refuted
+    with a counterexample, or — only if that final call blows its budget —
+    reported as ``status="unknown"``.  Internal merge queries are budgeted
+    separately (``merge_conflict_budget``) because a failed merge only
+    costs later queries some sharing, never soundness.
+    """
+    if first.num_pis != second.num_pis:
+        raise ValueError(
+            f"PI count mismatch: {first.num_pis} vs {second.num_pis}"
+        )
+    if first.num_pos != second.num_pos:
+        raise ValueError(
+            f"PO count mismatch: {first.num_pos} vs {second.num_pos}"
+        )
+
+    sweeper = _Sweeper(
+        first.num_pis,
+        seed,
+        initial_patterns,
+        merge_conflict_budget,
+        max_refinements,
+    )
+    graph = sweeper.graph
+    pos_first = encode_network(graph, first, add_gate=sweeper.add_gate)
+    pos_second = encode_network(graph, second, add_gate=sweeper.add_gate)
+
+    stats = sweeper.stats
+    stats["gates"] = len(graph.gates)
+    stats["vars"] = graph.num_vars
+    stats["patterns"] = sweeper.num_bits
+
+    def finish(outcome: SweepOutcome) -> SweepOutcome:
+        stats["conflicts"] = sweeper.solver.num_conflicts
+        stats["patterns"] = sweeper.num_bits
+        outcome.stats = stats
+        return outcome
+
+    # Simulated mismatches on the accumulated patterns are counterexamples.
+    mask = sweeper.mask
+    values = sweeper.values
+    for index, (a, b) in enumerate(zip(pos_first, pos_second)):
+        diff = graph.lit_value(values, a, mask) ^ graph.lit_value(values, b, mask)
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            counterexample = [
+                bool((sweeper.pi_patterns[i] >> bit) & 1)
+                for i in range(graph.num_pis)
+            ]
+            return finish(SweepOutcome(INEQUIVALENT, counterexample, index))
+
+    # Final, complete decision per unmerged primary-output pair.
+    unknown = False
+    for index, (a, b) in enumerate(zip(pos_first, pos_second)):
+        if a == b:
+            continue  # merged during encoding: proved
+        sweeper._sync_solver()
+        solver = sweeper.solver
+        stats["sat_calls"] += 1
+        res_a = solver.solve([a, b ^ 1], max_conflicts=output_conflict_budget)
+        if res_a == SAT:
+            return finish(
+                SweepOutcome(INEQUIVALENT, sweeper.model_assignment(), index)
+            )
+        stats["sat_calls"] += 1
+        res_b = solver.solve([a ^ 1, b], max_conflicts=output_conflict_budget)
+        if res_b == SAT:
+            return finish(
+                SweepOutcome(INEQUIVALENT, sweeper.model_assignment(), index)
+            )
+        if res_a != UNSAT or res_b != UNSAT:
+            # Budget blown on this pair: keep scanning the remaining
+            # outputs — a later pair may still yield a cheap refutation.
+            unknown = True
+    if unknown:
+        return finish(SweepOutcome(UNKNOWN))
+    return finish(SweepOutcome(EQUIVALENT))

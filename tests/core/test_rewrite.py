@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench_circuits import build_benchmark
-from repro.core import Mig, random_aoig_mig, random_mig, rewrite_mig
+from repro.core import Mig, rewrite_mig
 from repro.flows import MigRewrite, Pipeline
 from repro.verify import assert_equivalent, check_equivalence
 
@@ -55,8 +55,8 @@ class TestRewriteMig:
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=5000))
-    def test_equivalence_property(self, seed):
-        mig = random_aoig_mig(6, 30, num_pos=3, seed=seed)
+    def test_equivalence_property(self, network_forge, seed):
+        mig = network_forge(kind="mig", gate_mix="aoig", num_pis=6, num_gates=30, seed=seed)
         reference = mig.copy()
         depth_before = mig.depth()
         rewrite_mig(mig)
@@ -66,20 +66,31 @@ class TestRewriteMig:
 
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=5000))
-    def test_pure_majority_networks_property(self, seed):
-        mig = random_mig(6, 25, num_pos=3, seed=seed)
+    def test_pure_majority_networks_property(self, network_forge, seed):
+        mig = network_forge(kind="mig", gate_mix="maj", num_pis=6, num_gates=25, seed=seed)
         reference = mig.copy()
         rewrite_mig(mig)
         assert_equivalent(mig, reference)
 
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_mixed_gate_networks_property(self, network_forge, seed):
+        # XOR/MUX-rich cones exercise the non-trivial NPN classes of the
+        # structure database far more than plain AND/OR soup.
+        mig = network_forge(kind="mig", gate_mix="mixed", num_pis=7, num_gates=35, seed=seed)
+        reference = mig.copy()
+        rewrite_mig(mig)
+        mig.check_integrity()
+        assert_equivalent(mig, reference)
+
     @pytest.mark.parametrize("seed", [37, 56, 158])
-    def test_alias_collapse_never_overstates_gain(self, seed):
-        # Regression: on these seeds a fanout of the rewritten root used to
-        # collapse back onto it during the substitution cascade, leaving
-        # the root (and its whole assumed-freed cone) alive while the gain
-        # was still credited.  The engine now detects the surviving root,
+    def test_alias_collapse_never_overstates_gain(self, network_forge, seed):
+        # Regression class: a fanout of the rewritten root used to collapse
+        # back onto it during the substitution cascade, leaving the root
+        # (and its whole assumed-freed cone) alive while the gain was
+        # still credited.  The engine now detects the surviving root,
         # merges the duplicate replacement back and counts nothing.
-        mig = random_aoig_mig(7, 60, num_pos=4, seed=seed)
+        mig = network_forge(kind="mig", gate_mix="aoig", num_pis=7, num_gates=60, num_pos=4, seed=seed)
         mig.cleanup()
         reference = mig.copy()
         size_before = mig.num_gates

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench_circuits import build_benchmark
 from repro.core.mig import Mig
+from repro.core.signal import negate
 from repro.flows import (
     Balance,
     Cleanup,
@@ -13,6 +14,7 @@ from repro.flows import (
     Eliminate,
     FunctionPass,
     PassMetrics,
+    PassVerificationError,
     Pipeline,
     Repeat,
     SizeOpt,
@@ -87,6 +89,62 @@ class TestRepeat:
         names = result.pass_names()
         assert names[:2] == ["eliminate", "cleanup"]
         assert names[-1] == "repeat"
+
+
+class TestVerifyHook:
+    def test_passes_self_certify(self):
+        mig = small_mig()
+        result = Pipeline(
+            [Balance(), Eliminate()], name="certified", verify=True
+        ).run(mig)
+        for metrics in result.passes:
+            verdict = metrics.details["verify"]
+            assert verdict["equivalent"] is True
+            assert verdict["method"] in ("exhaustive", "sat-sweep")
+
+    def test_broken_pass_raises(self):
+        def corrupt(net):
+            net.set_po(0, negate(net.po_signals()[0]))
+
+        mig = small_mig()
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline([FunctionPass("corrupt", corrupt)], verify=True).run(mig)
+        assert excinfo.value.pass_name == "corrupt"
+        assert excinfo.value.result.counterexample is not None
+
+    def test_custom_verifier_callable(self):
+        calls = []
+
+        def checker(reference, network):
+            calls.append((reference.num_gates, network.num_gates))
+            return check_equivalence(reference, network, method="random")
+
+        mig = small_mig()
+        result = Pipeline([Eliminate()], verify=checker).run(mig)
+        assert len(calls) == 1
+        assert result.passes[0].details["verify"]["method"] == "random-simulation"
+
+    def test_composite_passes_are_verified_as_a_unit(self):
+        mig = small_mig()
+        result = Pipeline(
+            [Repeat([Eliminate()], rounds=2, name="rounds")], verify=True
+        ).run(mig)
+        summary = result.passes[-1]
+        assert summary.name == "rounds"
+        assert summary.details["verify"]["equivalent"] is True
+        # Inner passes of the composite carry no verdict of their own.
+        assert all("verify" not in m.details for m in result.passes[:-1])
+
+    def test_mighty_self_certifies(self):
+        mig = small_mig("count")
+        result = mighty_optimize(mig, rounds=1, depth_effort=1, verify=True)
+        verified = [
+            m.details["verify"]
+            for m in result.pass_metrics
+            if "verify" in m.details
+        ]
+        assert verified, "verify= must annotate the top-level passes"
+        assert all(v["equivalent"] for v in verified)
 
 
 class TestBalanceAcceptance:

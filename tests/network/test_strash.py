@@ -1,4 +1,4 @@
-"""Regression tests for structural-hash completeness in the kernel.
+"""Regression and fuzz tests for structural-hash completeness in the kernel.
 
 In-place fanin rewrites (``_replace_in_node`` during a substitution
 cascade) can store a MIG node under a polarity form the builder would not
@@ -7,9 +7,17 @@ must still find such nodes — probing only the normalized key would
 materialise a functional duplicate, which also breaks the gain accounting
 of the cut-rewriting dry run (a "free" strash hit that the replay then
 cannot reuse).
+
+The deterministic scenario below pins the original regression; the fuzz
+tests generalize it over the shared random-network forge
+(``tests/conftest.py``) for both network types.
 """
 
-from repro.core import Mig
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mig, mutate_network
 from repro.core.signal import negate, node_of
 from repro.verify import assert_equivalent
 
@@ -52,3 +60,39 @@ def test_builder_polarity_of_complemented_hit_is_correct():
     assert rebuilt == negate(parent << 1)
     mig.check_integrity()
     assert_equivalent(mig, reference)
+
+
+class TestStrashCompletenessFuzz:
+    """The regression above, generalized over the shared network forge.
+
+    After arbitrary in-place rewrites (here: seeded mutations, which run
+    through ``replace_fanins`` / ``set_po`` and their cascades), rebuilding
+    any live gate from its own stored fanins must hit the strash table —
+    in either polarity — and never materialise a duplicate node.
+    """
+
+    @pytest.mark.parametrize("kind", ["mig", "aig"])
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_rebuilding_live_gates_never_duplicates(self, network_forge, kind, seed):
+        net = network_forge(kind=kind, gate_mix="mixed", num_pis=6, num_gates=25, seed=seed)
+        # Drive the in-place rewrite machinery a few times.
+        for step in range(3):
+            net, _ = mutate_network(net, seed=seed * 7 + step)
+        net.check_integrity()
+        before_gates = net.num_gates
+        before_nodes = net.num_nodes
+        builder = net.maj if isinstance(net, Mig) else net.and_
+        for node in list(net.topological_order()):
+            # Rebuilding a live gate from its own stored fanins must hit
+            # the strash table (this node, or a live polarity-variant
+            # sibling) — never allocate.
+            rebuilt = builder(*net.fanins(node))
+            assert node_of(rebuilt) < before_nodes, (kind, seed, node)
+            if isinstance(net, Mig):
+                # Majority self-duality: the all-complemented rebuild must
+                # come back as the complement edge of the same node.
+                flipped = builder(*(negate(f) for f in net.fanins(node)))
+                assert flipped == negate(rebuilt), (kind, seed, node)
+        assert net.num_gates == before_gates, "no duplicate node may be created"
+        assert net.num_nodes == before_nodes, "no node may be allocated"

@@ -38,19 +38,72 @@ class TestEquivalence:
         aig = mig_to_aig(mig)
         assert check_equivalence(mig, aig).equivalent
 
-    def test_random_simulation_for_wide_networks(self):
+    def test_wide_networks_get_a_sat_proof(self):
+        # >16 inputs: the exhaustive backend is out, so the automatic
+        # dispatch escalates from random simulation to a SAT-sweep proof.
         mig = random_aoig_mig(20, 60, num_pos=5, seed=4)
         result = check_equivalence(mig, mig.copy(), num_random_vectors=512)
+        assert result.equivalent
+        assert result.method == "sat-sweep"
+
+    def test_random_backend_can_be_forced(self):
+        mig = random_aoig_mig(20, 60, num_pos=5, seed=4)
+        result = check_equivalence(mig, mig.copy(), method="random")
         assert result.equivalent
         assert result.method == "random-simulation"
 
     def test_bdd_backed_check(self):
-        # 17 inputs: above the (chunk-raised) exhaustive limit, so the BDD
-        # backend is what proves equivalence.
+        # The (memory-bound but complete) BDD backend remains forcible.
         mig = random_aoig_mig(17, 40, num_pos=3, seed=6)
-        result = check_equivalence(mig, mig.copy(), use_bdd=True)
+        result = check_equivalence(mig, mig.copy(), method="bdd")
         assert result.equivalent
         assert result.method == "bdd"
+
+    def test_bdd_refutation_carries_replayable_counterexample(self):
+        # Regression: _check_bdd used to report counterexample=None; a
+        # satisfying path of the XOR of the differing BDDs is extracted now.
+        mig = random_aoig_mig(17, 40, num_pos=3, seed=6)
+        broken = mig.copy()
+        broken.set_po(1, negate(broken.po_signals()[1]))
+        result = check_equivalence(mig, broken, method="bdd")
+        assert not result.equivalent
+        assert result.method == "bdd"
+        assert result.counterexample is not None
+        patterns = [1 if bit else 0 for bit in result.counterexample]
+        a = mig.simulate_patterns(patterns, 1)
+        b = broken.simulate_patterns(patterns, 1)
+        assert (a[result.failing_output] ^ b[result.failing_output]) & 1
+
+    def test_sat_sweep_refutation_counterexample_replays(self):
+        mig = random_aoig_mig(20, 60, num_pos=4, seed=2)
+        broken = mig.copy()
+        broken.set_po(2, negate(broken.po_signals()[2]))
+        result = check_equivalence(mig, broken, method="sat-sweep")
+        assert not result.equivalent
+        assert result.counterexample is not None
+        patterns = [1 if bit else 0 for bit in result.counterexample]
+        a = mig.simulate_patterns(patterns, 1)
+        b = broken.simulate_patterns(patterns, 1)
+        assert (a[result.failing_output] ^ b[result.failing_output]) & 1
+
+    def test_unknown_method_rejected(self):
+        mig = random_mig(4, 8, num_pos=1, seed=1)
+        with pytest.raises(ValueError):
+            check_equivalence(mig, mig.copy(), method="magic")
+
+    def test_spurious_counterexample_raises(self):
+        from repro.verify import CounterexampleError
+        from repro.verify.equivalence import EquivalenceResult, _validated
+
+        mig = random_mig(4, 8, num_pos=1, seed=1)
+        bogus = EquivalenceResult(
+            equivalent=False,
+            method="sat-sweep",
+            counterexample=[False] * 4,
+            failing_output=0,
+        )
+        with pytest.raises(CounterexampleError):
+            _validated(mig, mig.copy(), bogus)
 
     def test_mismatched_interfaces_rejected(self):
         small = random_mig(4, 10, num_pos=2, seed=1)
@@ -79,3 +132,14 @@ class TestNetworkConversions:
         assert check_equivalence(mig, back).equivalent
         assert back.pi_names() == mig.pi_names()
         assert back.po_names() == mig.po_names()
+
+    def test_sat_sweep_covers_mapped_netlists(self):
+        # The SAT backend must understand all three network types: here a
+        # wide MIG against its technology-mapped standard-cell netlist.
+        from repro.mapping import map_mig
+
+        mig = random_aoig_mig(18, 60, num_pos=4, seed=21)
+        netlist = map_mig(mig)
+        result = check_equivalence(mig, netlist, method="sat-sweep")
+        assert result.equivalent
+        assert result.method == "sat-sweep"

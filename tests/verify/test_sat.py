@@ -1,0 +1,147 @@
+"""Unit tests for the CDCL SAT solver (verify/sat.py)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.verify.sat import SAT, UNKNOWN, UNSAT, SatSolver
+
+
+def _lit_true(lit, assignment):
+    return assignment[lit >> 1] != (lit & 1)
+
+
+def _brute_force_sat(num_vars, clauses):
+    return any(
+        all(any(_lit_true(l, asg) for l in c) for c in clauses)
+        for asg in itertools.product((0, 1), repeat=num_vars)
+    )
+
+
+def _pigeonhole(pigeons, holes):
+    """PHP(p, h): p pigeons into h holes, one each — UNSAT when p > h."""
+    solver = SatSolver()
+    var = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for i in range(pigeons):
+        solver.add_clause([var[i][j] << 1 for j in range(holes)])
+    for j in range(holes):
+        for a in range(pigeons):
+            for b in range(a + 1, pigeons):
+                solver.add_clause([(var[a][j] << 1) | 1, (var[b][j] << 1) | 1])
+    return solver
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve() == SAT
+
+    def test_unit_propagation_chain(self):
+        s = SatSolver()
+        a, b, c = (s.new_var() for _ in range(3))
+        s.add_clause([a << 1])
+        s.add_clause([(a << 1) | 1, b << 1])
+        s.add_clause([(b << 1) | 1, c << 1])
+        assert s.solve() == SAT
+        assert s.model_value(a << 1) and s.model_value(b << 1) and s.model_value(c << 1)
+
+    def test_contradiction_is_unsat(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a << 1])
+        assert not s.add_clause([(a << 1) | 1])
+        assert s.solve() == UNSAT
+
+    def test_tautology_and_duplicates_are_harmless(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        assert s.add_clause([a << 1, (a << 1) | 1])  # tautology: dropped
+        assert s.add_clause([b << 1, b << 1, a << 1])  # duplicate literal
+        assert s.solve() == SAT
+
+    def test_model_value_requires_model(self):
+        s = SatSolver()
+        a = s.new_var()
+        with pytest.raises(RuntimeError):
+            s.model_value(a << 1)
+
+
+class TestAgainstBruteForce:
+    def test_random_3sat_instances(self):
+        rng = random.Random(42)
+        for trial in range(80):
+            n = rng.randint(3, 8)
+            m = rng.randint(3, 45)
+            clauses = []
+            for _ in range(m):
+                vs = rng.sample(range(n), rng.randint(1, 3))
+                clauses.append([(v << 1) | rng.randint(0, 1) for v in vs])
+            expected = SAT if _brute_force_sat(n, clauses) else UNSAT
+            solver = SatSolver()
+            solver.ensure_vars(n)
+            feasible = True
+            for clause in clauses:
+                if not solver.add_clause(clause):
+                    feasible = False
+                    break
+            result = solver.solve() if feasible else UNSAT
+            assert result == expected, (trial, clauses)
+            if result == SAT:
+                model = [solver.model_value(v << 1) for v in range(n)]
+                assert all(
+                    any(model[l >> 1] != (l & 1) for l in c) for c in clauses
+                ), (trial, "model does not satisfy the formula")
+
+
+class TestPigeonhole:
+    def test_php_unsat(self):
+        assert _pigeonhole(5, 4).solve() == UNSAT
+
+    def test_php_sat_when_roomy(self):
+        assert _pigeonhole(4, 4).solve() == SAT
+
+    def test_conflict_budget_yields_unknown(self):
+        solver = _pigeonhole(7, 6)
+        assert solver.solve(max_conflicts=20) == UNKNOWN
+        # The clause database survived; a bigger budget settles it.
+        assert solver.solve(max_conflicts=1_000_000) == UNSAT
+
+
+class TestAssumptions:
+    def test_assumption_forcing_and_reuse(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a << 1, b << 1])
+        assert s.solve([(a << 1) | 1, (b << 1) | 1]) == UNSAT
+        assert s.solve([(a << 1) | 1]) == SAT
+        assert s.model_value(b << 1)
+        # Without assumptions the formula is still satisfiable (incremental
+        # solving must not have polluted the database).
+        assert s.solve() == SAT
+
+    def test_assumption_conflicting_with_unit_clause(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a << 1])
+        assert s.solve([(a << 1) | 1]) == UNSAT
+        assert s.solve([a << 1]) == SAT
+
+    def test_many_incremental_calls_stay_consistent(self):
+        # An equality chain x0 == x1 == ... == x7: any polarity assumption
+        # on (x0, x7) must answer equal-phase SAT / opposite-phase UNSAT.
+        s = SatSolver()
+        xs = [s.new_var() for _ in range(8)]
+        for u, v in zip(xs, xs[1:]):
+            s.add_clause([(u << 1) | 1, v << 1])
+            s.add_clause([u << 1, (v << 1) | 1])
+        first, last = xs[0] << 1, xs[-1] << 1
+        for _ in range(10):
+            assert s.solve([first, last]) == SAT
+            assert s.solve([first, last ^ 1]) == UNSAT
+            assert s.solve([first ^ 1, last ^ 1]) == SAT
+            assert s.solve([first ^ 1, last]) == UNSAT
+
+    def test_unknown_assumption_variable_rejected(self):
+        s = SatSolver()
+        with pytest.raises(ValueError):
+            s.solve([4])
