@@ -14,12 +14,22 @@ module only fixes the AIG conventions (database kind, rebuild-style API).
 Like ABC's scripts the public passes never mutate their argument: the
 input AIG is copied (compacting and re-strashing it) and the copy is
 rewritten in place.
+
+Repeated in-place sweeps (:func:`rewrite_aig_inplace` called in rounds,
+or ``rewrite``/``refactor`` alternating on a long-lived AIG) share the
+network's incremental :class:`~repro.network.cuts.CutManager`: only the
+cones touched since the previous sweep are re-enumerated, and a sweep
+that already converged at the current mutation serial returns without
+re-scanning at all.  The rebuild-style ``rewrite``/``refactor`` wrappers
+start from a fresh copy, so their first (and only) sweep is necessarily a
+full enumeration — use the in-place API for multi-round workloads.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from ..network.cuts import release_cut_state
 from ..network.rewrite import cut_rewrite
 from .aig import Aig
 
@@ -31,6 +41,7 @@ def rewrite_aig_inplace(
     k: int = 4,
     cut_limit: int = 8,
     allow_zero_gain: bool = True,
+    incremental: bool = True,
 ) -> Dict[str, int]:
     """Run one Boolean cut-rewriting sweep over ``aig`` in place."""
     return cut_rewrite(
@@ -39,6 +50,7 @@ def rewrite_aig_inplace(
         k=k,
         cut_limit=cut_limit,
         allow_zero_gain=allow_zero_gain,
+        incremental=incremental,
     )
 
 
@@ -46,6 +58,9 @@ def rewrite(aig: Aig) -> Aig:
     """Return a rewritten copy of ``aig`` (4-input cut rewriting)."""
     result = aig.copy()
     rewrite_aig_inplace(result)
+    # One sweep on a fresh copy cannot reuse anything later: drop the cut
+    # cache and listener instead of pinning them on the returned network.
+    release_cut_state(result)
     return result
 
 
@@ -58,4 +73,5 @@ def refactor(aig: Aig) -> Aig:
     """
     result = aig.copy()
     rewrite_aig_inplace(result, cut_limit=12)
+    release_cut_state(result)
     return result

@@ -179,8 +179,9 @@ def random_network(
     return net
 
 
-def mutate_network(network, seed: int = 1):
-    """Seeded single-gate mutation of a network copy; the original is untouched.
+def mutate_network(network, seed: int = 1, in_place: bool = False):
+    """Seeded single-gate mutation of a copy — or of ``network`` itself
+    when ``in_place=True``.
 
     Returns ``(mutant, description)``.  One of three fault classes is
     injected — a complemented primary output, a complemented fanin edge,
@@ -190,13 +191,18 @@ def mutate_network(network, seed: int = 1):
     equivalence backend refutes broken networks with replayable
     counterexamples.
 
+    ``in_place=True`` mutates ``network`` itself instead of a copy (and
+    returns it) — the edit-sequence driver of the incremental-cut
+    property tests, which need faults injected into a live network whose
+    caches are being maintained.
+
     A mutation is *almost always* a functional change but can be masked
     by downstream don't-cares; callers that need a guaranteed-different
     mutant should confirm with an independent check and draw a new seed
     otherwise.
     """
     rng = random.Random(seed)
-    mutant = network.copy()
+    mutant = network if in_place else network.copy()
     gates = list(mutant.topological_order())
     kinds = []
     if mutant.num_pos:

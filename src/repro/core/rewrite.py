@@ -41,13 +41,19 @@ def rewrite_mig(
     cut_limit: int = 6,
     allow_zero_gain: bool = False,
     max_level_growth: Optional[int] = 0,
+    incremental: bool = True,
 ) -> Dict[str, int]:
     """Run one Boolean cut-rewriting sweep over ``mig`` in place.
 
     Returns the engine's stats dictionary (``rewrites`` applied,
-    ``zero_gain`` among them, total size ``gain``).  With the default
-    ``max_level_growth=0`` the sweep never increases ``mig.depth()``;
-    pass ``None`` to lift the bound (size-first mode).
+    ``zero_gain`` among them, total size ``gain``, plus the incremental
+    cut engine's ``cut_nodes_recomputed`` / ``cut_nodes_reused``
+    counters).  With the default ``max_level_growth=0`` the sweep never
+    increases ``mig.depth()``; pass ``None`` to lift the bound
+    (size-first mode).  Sweeps share the MIG's
+    :class:`~repro.network.cuts.CutManager`, so repeated rounds
+    re-enumerate only touched cones; ``incremental=False`` forces
+    from-scratch enumeration.
     """
     return cut_rewrite(
         mig,
@@ -56,4 +62,5 @@ def rewrite_mig(
         cut_limit=cut_limit,
         allow_zero_gain=allow_zero_gain,
         max_level_growth=max_level_growth,
+        incremental=incremental,
     )

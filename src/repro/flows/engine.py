@@ -499,21 +499,27 @@ class MigRewrite(Pass):
         cut_limit: int = 6,
         allow_zero_gain: bool = False,
         max_level_growth: Optional[int] = 0,
+        incremental: bool = True,
     ) -> None:
         self.k = k
         self.cut_limit = cut_limit
         self.allow_zero_gain = allow_zero_gain
         self.max_level_growth = max_level_growth
+        self.incremental = incremental
 
     def apply(self, network) -> Dict[str, object]:
         from ..core.rewrite import rewrite_mig
 
+        # The returned stats carry the incremental cut engine's per-sweep
+        # reuse counters (cut_nodes_recomputed / cut_nodes_reused /
+        # converged_skip), which land in PassMetrics.details verbatim.
         return rewrite_mig(
             network,
             k=self.k,
             cut_limit=self.cut_limit,
             allow_zero_gain=self.allow_zero_gain,
             max_level_growth=self.max_level_growth,
+            incremental=self.incremental,
         )
 
 

@@ -11,7 +11,7 @@ types (and is imported lazily here because it depends on both).
 """
 
 from .base import LogicNetwork
-from .cuts import Cut, cut_cone, enumerate_cuts, mffc_nodes
+from .cuts import Cut, CutManager, cut_cone, enumerate_cuts, mffc_nodes
 from .npn import (
     NpnTransform,
     apply_transform,
@@ -24,6 +24,7 @@ from .rewrite import cut_rewrite
 __all__ = [
     "LogicNetwork",
     "Cut",
+    "CutManager",
     "cut_cone",
     "enumerate_cuts",
     "mffc_nodes",

@@ -16,7 +16,14 @@ nodes) have in common:
   eagerly (a substitution re-sweeps only the affected fanout cone), and
   the PO-reachable topological order plus the level snapshot are cached
   with dirty-region invalidation, so :meth:`depth`, :meth:`levels` and
-  :meth:`topological_order` are O(1) when the network has not changed.
+  :meth:`topological_order` are O(1) when the network has not changed;
+* **mutation notifications**: a monotone mutation serial
+  (``_mutation_serial``, bumped on every structural change) plus a
+  listener hook (:meth:`register_mutation_listener`) through which
+  derived-state caches — the incremental cut engine of
+  :class:`repro.network.cuts.CutManager` — subscribe to in-place fanin
+  retargets, node deaths and wholesale resets alongside the existing
+  level-repair worklist.
 
 Subclasses provide the gate semantics through four small hooks:
 
@@ -117,6 +124,16 @@ class LogicNetwork:
         # trivially reducible — the Ω.M sweep visits just this set.
         self._touched: set = set()
 
+        # Monotone counter of structural changes (allocation, retarget,
+        # death, PO edits, resets): lets derived-state caches prove "the
+        # network has not changed since" with one integer compare.
+        self._mutation_serial = 0
+        # Subscribers to structural-change events; each listener exposes
+        # ``network_retargeted(node)``, ``network_node_died(node)`` and
+        # ``network_reset()``.  The list is empty in the common case, so
+        # notification costs one truthiness check per mutation.
+        self._mutation_listeners: List = []
+
     # ------------------------------------------------------------------ #
     # Subclass hooks
     # ------------------------------------------------------------------ #
@@ -148,6 +165,27 @@ class LogicNetwork:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
+    # Mutation notifications
+    # ------------------------------------------------------------------ #
+    def register_mutation_listener(self, listener) -> None:
+        """Subscribe ``listener`` to structural-change notifications.
+
+        The listener must expose ``network_retargeted(node)`` (a gate's
+        fanin tuple changed in place), ``network_node_died(node)`` (the
+        node was reclaimed) and ``network_reset()`` (``assign_from``
+        replaced the whole network; all cached node ids are invalid).
+        """
+        if listener not in self._mutation_listeners:
+            self._mutation_listeners.append(listener)
+
+    def unregister_mutation_listener(self, listener) -> None:
+        """Remove a previously registered mutation listener (idempotent)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     def add_pi(self, name: Optional[str] = None) -> int:
@@ -166,6 +204,7 @@ class LogicNetwork:
         node = node_of(signal)
         self._ref[node] += 1
         self._po_refs[node] = self._po_refs.get(node, 0) + 1
+        self._mutation_serial += 1
         self._invalidate_topology()
         return index
 
@@ -277,6 +316,7 @@ class LogicNetwork:
             del self._po_refs[old_node]
         else:
             self._po_refs[old_node] -= 1
+        self._mutation_serial += 1
         self._invalidate_topology()
         self._deref(old_node)
 
@@ -596,6 +636,7 @@ class LogicNetwork:
                     if moved:
                         del self._po_refs[old]
                         self._po_refs[new_node] = self._po_refs.get(new_node, 0) + moved
+                        self._mutation_serial += 1
                 # Redirect fanouts.
                 for parent in list(self._fanouts[old]):
                     if self._dead[parent]:
@@ -677,6 +718,10 @@ class LogicNetwork:
             if self._ref[fn] == 0 and self.is_gate(fn) and not self._dead[fn]:
                 self._take_out(fn)
         self._touched.add(parent)
+        self._mutation_serial += 1
+        if self._mutation_listeners:
+            for listener in self._mutation_listeners:
+                listener.network_retargeted(parent)
         self._update_level(parent)
 
     def replace_fanins(self, node: int, fanins: Tuple[int, ...]) -> Optional[int]:
@@ -762,6 +807,10 @@ class LogicNetwork:
 
         Used by the optimizers to roll back to the best intermediate result
         when a speculative reshape cycle did not pay off.
+
+        Mutation listeners registered on *this* network stay registered
+        (the clone has none) and receive a ``network_reset`` notification:
+        every node id they may have cached refers to the old contents.
         """
         clone = other.copy()
         self._fanins = clone._fanins
@@ -780,6 +829,10 @@ class LogicNetwork:
         self._levels_cache = clone._levels_cache
         self._touched = clone._touched
         self._po_refs = clone._po_refs
+        self._mutation_serial += 1
+        if self._mutation_listeners:
+            for listener in self._mutation_listeners:
+                listener.network_reset()
 
     def check_integrity(self) -> None:
         """Validate internal invariants; raises ``AssertionError`` on corruption.
@@ -830,6 +883,7 @@ class LogicNetwork:
     # ------------------------------------------------------------------ #
     def _allocate_node(self, fanins: Optional[Tuple[int, ...]]) -> int:
         node = len(self._fanins)
+        self._mutation_serial += 1
         self._fanins.append(fanins)
         self._dead.append(False)
         self._ref.append(0)
@@ -855,6 +909,10 @@ class LogicNetwork:
             return
         self._dead[node] = True
         self._num_gates -= 1
+        self._mutation_serial += 1
+        if self._mutation_listeners:
+            for listener in self._mutation_listeners:
+                listener.network_node_died(node)
         key = self._gate_key(self._fanins[node])
         if self._strash.get(key) == node:
             del self._strash[key]

@@ -23,6 +23,17 @@ module provides the three pieces:
   polished by the repository's own size optimizers, stored as a replayable
   program over four abstract inputs.
 
+Derived entries are additionally persisted to a small on-disk JSON cache
+(one file per kind) so cold starts skip the derivation entirely.  The
+cache is keyed by a content hash over the source modules that shape the
+derivation — a code change silently invalidates stale files — and every
+loaded entry is semantically validated (its program is re-evaluated over
+the projection tables and must reproduce the class function) before it is
+trusted, so a corrupt or hand-edited file degrades to a fresh derivation
+rather than wrong logic.  ``REPRO_NPN_CACHE_DIR`` overrides the location
+(default ``~/.cache/repro/npn``); ``REPRO_NPN_CACHE=0`` disables
+persistence.
+
 Truth-table convention: bit ``m`` of a table is the function value when
 input ``i`` carries bit ``i`` of the minterm index ``m``.
 ``apply_transform(f, t)`` returns ``g`` with ``g(x) = f(y) ^ t.output_neg``
@@ -32,6 +43,12 @@ describes how the argument's inputs are wired onto ``f``'s inputs.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..core.signal import CONST_FALSE, CONST_NODE, CONST_TRUE, negate_if
@@ -48,8 +65,12 @@ __all__ = [
     "npn_canonical",
     "npn_representatives",
     "DbEntry",
+    "entry_truth_table",
     "get_structure",
     "replay_structure",
+    "structure_cache_path",
+    "flush_structure_cache",
+    "reset_structure_db",
 ]
 
 #: Number of NPN equivalence classes of functions of at most 4 variables.
@@ -102,6 +123,7 @@ def apply_transform(table: int, transform: NpnTransform) -> int:
     return out ^ (_FULL if transform.output_neg else 0)
 
 
+@lru_cache(maxsize=None)  # the group has 768 elements; the cache is bounded
 def invert_transform(transform: NpnTransform) -> NpnTransform:
     """The group inverse: ``apply(apply(f, t), invert(t)) == f``."""
     perm = transform.perm
@@ -242,14 +264,217 @@ class DbEntry(NamedTuple):
 
 _DB: Dict[Tuple[str, int], DbEntry] = {}
 
+#: Kinds whose on-disk cache file has already been consulted this process.
+_DB_LOADED: set = set()
+
+#: Bumped when the serialised layout changes (stale files are ignored).
+_DB_FORMAT_VERSION = 1
+
+#: Gate arity per database kind (cached entries must match).
+_KIND_ARITY = {"mig": 3, "aig": 2}
+
+#: Kinds with derivations not yet persisted, and the flush batch size:
+#: saves are deferred so a cold full-database derivation writes the file a
+#: handful of times instead of once per class.
+_DB_PENDING: Dict[str, int] = {}
+_DB_FLUSH_EVERY = 32
+_DB_ATEXIT_ARMED = False
+
+#: Source modules whose code shapes the derived structures; their content
+#: hash keys the cache file name, so any change starts a fresh cache.
+_DB_FINGERPRINT_SOURCES = (
+    "network/npn.py",
+    "network/base.py",
+    "core/mig.py",
+    "core/rules.py",
+    "core/algebra.py",
+    "core/size_opt.py",
+    "core/reshape.py",
+    "aig/aig.py",
+    "aig/balance.py",
+)
+
+
+def entry_truth_table(entry: DbEntry) -> int:
+    """Evaluate a :class:`DbEntry` program over the projection tables.
+
+    The pure-table counterpart of :func:`replay_structure`: 2-fanin ops
+    are ANDs, 3-fanin ops majorities.  Used to validate disk-cached
+    entries semantically before trusting them.
+    """
+    tables: List[int] = [0, *PROJECTIONS]
+    for op in entry.ops:
+        operands = [tables[lit >> 1] ^ (_FULL if lit & 1 else 0) for lit in op]
+        if len(operands) == 2:
+            tables.append(operands[0] & operands[1])
+        elif len(operands) == 3:
+            a, b, c = operands
+            tables.append((a & b) | (a & c) | (b & c))
+        else:
+            raise ValueError(f"unsupported op arity {len(operands)}")
+    return (tables[entry.output >> 1] ^ (_FULL if entry.output & 1 else 0)) & _FULL
+
+
+@lru_cache(maxsize=1)
+def _db_fingerprint() -> str:
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parent.parent
+    for rel in _DB_FINGERPRINT_SOURCES:
+        digest.update(rel.encode())
+        try:
+            digest.update((package_root / rel).read_bytes())
+        except OSError:
+            digest.update(b"<missing>")
+    return digest.hexdigest()[:16]
+
+
+def structure_cache_path(kind: str) -> Optional[Path]:
+    """On-disk cache file of one kind's database, or ``None`` if disabled."""
+    if os.environ.get("REPRO_NPN_CACHE", "1").lower() in ("0", "off", "false"):
+        return None
+    custom = os.environ.get("REPRO_NPN_CACHE_DIR")
+    base = Path(custom) if custom else Path.home() / ".cache" / "repro" / "npn"
+    return base / f"npn_db_{kind}_v{_DB_FORMAT_VERSION}_{_db_fingerprint()}.json"
+
+
+def _load_structure_cache(kind: str) -> None:
+    """Merge validated entries from the kind's cache file into ``_DB``."""
+    path = structure_cache_path(kind)
+    if path is None:
+        return
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _DB_FORMAT_VERSION
+        or payload.get("fingerprint") != _db_fingerprint()
+    ):
+        return
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        return
+    canon = _canonical_map()
+    arity = _KIND_ARITY.get(kind)
+    for key, raw in entries.items():
+        try:
+            table = int(key)
+            entry = DbEntry(
+                tuple(tuple(int(lit) for lit in op) for op in raw["ops"]),
+                int(raw["output"]),
+                int(raw["size"]),
+                int(raw["depth"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        # Only canonical representatives are valid keys, the recorded size
+        # must match the program, and the program must actually compute
+        # the class function — anything else is ignored, never trusted.
+        if not 0 <= table <= _FULL or canon[table][0] != table:
+            continue
+        if entry.size != len(entry.ops):
+            continue
+        # Gate arity must match the kind: a (table-valid) majority program
+        # smuggled into the AIG file would crash the AND builders later.
+        if arity is not None and any(len(op) != arity for op in entry.ops):
+            continue
+        try:
+            if entry_truth_table(entry) != table:
+                continue
+        except (IndexError, ValueError):
+            continue
+        _DB.setdefault((kind, table), entry)
+
+
+def _save_structure_cache(kind: str) -> None:
+    """Atomically persist every in-memory entry of ``kind`` (best effort)."""
+    path = structure_cache_path(kind)
+    if path is None:
+        return
+    entries = {
+        str(table): {
+            "ops": [list(op) for op in entry.ops],
+            "output": entry.output,
+            "size": entry.size,
+            "depth": entry.depth,
+        }
+        for (entry_kind, table), entry in _DB.items()
+        if entry_kind == kind
+    }
+    payload = {
+        "version": _DB_FORMAT_VERSION,
+        "fingerprint": _db_fingerprint(),
+        "kind": kind,
+        "entries": entries,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only cache dir etc.: persistence is best-effort
+
+
+def flush_structure_cache() -> None:
+    """Persist any not-yet-saved derivations (best effort, idempotent)."""
+    for kind in [k for k, pending in _DB_PENDING.items() if pending]:
+        _DB_PENDING[kind] = 0
+        _save_structure_cache(kind)
+
+
+def reset_structure_db() -> None:
+    """Drop the in-memory database and re-arm the disk-cache load.
+
+    Test hook: pending derivations are flushed first, then the next
+    :func:`get_structure` call re-reads the cache file (or re-derives).
+    On-disk files are left untouched.
+    """
+    flush_structure_cache()
+    _DB.clear()
+    _DB_LOADED.clear()
+
 
 def get_structure(kind: str, canonical_table: int) -> DbEntry:
-    """Best known ``kind`` ("mig" or "aig") structure for a canonical class."""
+    """Best known ``kind`` ("mig" or "aig") structure for a canonical class.
+
+    Resolution order: in-memory database, then the validated on-disk
+    cache (loaded once per kind per process), then a fresh derivation.
+    Fresh derivations are persisted back in batches (every
+    ``_DB_FLUSH_EVERY`` misses, plus an atexit flush) so the next cold
+    start skips them without paying one file rewrite per class.
+    """
+    global _DB_ATEXIT_ARMED
     key = (kind, canonical_table)
     entry = _DB.get(key)
     if entry is None:
-        entry = _derive_structure(kind, canonical_table)
-        _DB[key] = entry
+        if kind not in _DB_LOADED:
+            _DB_LOADED.add(kind)
+            _load_structure_cache(kind)
+            entry = _DB.get(key)
+        if entry is None:
+            entry = _derive_structure(kind, canonical_table)
+            _DB[key] = entry
+            if not _DB_ATEXIT_ARMED:
+                _DB_ATEXIT_ARMED = True
+                import atexit
+
+                atexit.register(flush_structure_cache)
+            _DB_PENDING[kind] = _DB_PENDING.get(kind, 0) + 1
+            if _DB_PENDING[kind] >= _DB_FLUSH_EVERY:
+                _DB_PENDING[kind] = 0
+                _save_structure_cache(kind)
     return entry
 
 

@@ -1,0 +1,192 @@
+"""Property/fuzz tests for the incremental cut engine (:class:`CutManager`).
+
+The manager's core invariant: after *any* sequence of in-place edits, the
+cut list it reports for every live PO-reachable node — leaves *and* truth
+tables, in order — equals a from-scratch :func:`enumerate_cuts` of the
+current network.  The tests drive that invariant through seeded
+single-gate mutation sequences, real rewrite rounds, substitution-heavy
+optimizer passes, PO redirects and wholesale ``assign_from`` resets, over
+both MIG and AIG forges, and additionally prove the incremental rewrite
+path bit-identical to the from-scratch one.
+"""
+
+import pytest
+
+from repro.aig.rewrite import rewrite_aig_inplace
+from repro.core import rewrite_mig
+from repro.core.generation import mutate_network
+from repro.network.cuts import CutManager, enumerate_cuts
+
+
+def _as_pairs(cut_list):
+    return [(cut.leaves, cut.table) for cut in cut_list]
+
+
+def _assert_cuts_match_scratch(net, manager):
+    """Incremental cuts == from-scratch cuts on every PO-reachable node."""
+    actual = manager.cuts()
+    expected = enumerate_cuts(net, k=manager.k, cut_limit=manager.cut_limit)
+    nodes = set(net._topology()) | set(net.pi_nodes())
+    for node in nodes:
+        assert node in actual, f"node {node} missing from incremental cuts"
+        assert _as_pairs(actual[node]) == _as_pairs(expected[node]), (
+            f"cut mismatch at node {node}"
+        )
+    for node in actual:
+        assert not net._dead[node], f"cache still holds dead node {node}"
+        for cut in actual[node]:
+            sign = 0
+            for leaf in cut.leaves:
+                sign |= 1 << (leaf & 63)
+            assert cut.sign == sign, f"stale signature at node {node}"
+
+
+@pytest.mark.parametrize("kind", ["mig", "aig"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_cuts_match_scratch_after_mutation_sequences(network_forge, kind, seed):
+    net = network_forge(
+        kind=kind, gate_mix="mixed", num_pis=7, num_gates=60, num_pos=5, seed=seed
+    )
+    manager = CutManager.for_network(net, k=4, cut_limit=8)
+    _assert_cuts_match_scratch(net, manager)
+    for step in range(12):
+        mutate_network(net, seed=1000 * seed + step, in_place=True)
+        _assert_cuts_match_scratch(net, manager)
+
+
+@pytest.mark.parametrize("kind", ["mig", "aig"])
+@pytest.mark.parametrize("seed", [4, 5])
+def test_cuts_match_scratch_after_rewrite_rounds(network_forge, kind, seed):
+    net = network_forge(
+        kind=kind, gate_mix="mixed", num_pis=8, num_gates=120, num_pos=8, seed=seed
+    )
+    if kind == "mig":
+        manager = CutManager.for_network(net, k=4, cut_limit=6)
+        for _ in range(3):
+            rewrite_mig(net)
+            _assert_cuts_match_scratch(net, manager)
+    else:
+        manager = CutManager.for_network(net, k=4, cut_limit=8)
+        for _ in range(3):
+            rewrite_aig_inplace(net)
+            _assert_cuts_match_scratch(net, manager)
+
+
+@pytest.mark.parametrize("seed", [6, 7])
+def test_cuts_match_scratch_after_optimizer_passes(network_forge, seed):
+    from repro.core.size_opt import optimize_size
+
+    net = network_forge(
+        kind="mig", gate_mix="maj", num_pis=7, num_gates=80, num_pos=6, seed=seed
+    )
+    manager = CutManager.for_network(net, k=4, cut_limit=8)
+    manager.cuts()
+    optimize_size(net, effort=1)
+    _assert_cuts_match_scratch(net, manager)
+
+
+def test_cuts_match_scratch_after_po_redirect(network_forge):
+    from repro.core.signal import make_signal
+
+    net = network_forge(kind="mig", num_pis=6, num_gates=40, num_pos=2, seed=11)
+    manager = CutManager.for_network(net, k=4, cut_limit=8)
+    manager.cuts()
+    # Redirect a PO onto an interior gate: reachability changes, and nodes
+    # that fell out of (or came back into) the reachable region must still
+    # report from-scratch-identical cuts.
+    gates = list(net.topological_order())
+    net.set_po(0, make_signal(gates[len(gates) // 2]))
+    net.cleanup()
+    _assert_cuts_match_scratch(net, manager)
+    net.add_po(make_signal(gates[0]), "extra")
+    _assert_cuts_match_scratch(net, manager)
+
+
+def test_manager_resets_on_assign_from(network_forge):
+    net = network_forge(kind="mig", num_pis=6, num_gates=40, num_pos=3, seed=21)
+    other = network_forge(kind="mig", num_pis=5, num_gates=30, num_pos=2, seed=22)
+    manager = CutManager.for_network(net, k=4, cut_limit=8)
+    manager.cuts()
+    net.assign_from(other)
+    _assert_cuts_match_scratch(net, manager)
+
+
+@pytest.mark.parametrize("kind", ["mig", "aig"])
+def test_incremental_rewrite_bit_identical_to_scratch(network_forge, kind):
+    """Multi-round incremental rewriting must reproduce the from-scratch
+    result exactly: same node ids, same fanins, same PO signals."""
+
+    def dump(net):
+        return (
+            tuple(net.po_signals()),
+            tuple((n, net._fanins[n]) for n in net.topological_order()),
+        )
+
+    def sweep(net, incremental):
+        if kind == "mig":
+            return rewrite_mig(net, incremental=incremental)
+        return rewrite_aig_inplace(net, incremental=incremental)
+
+    for seed in (31, 32):
+        a = network_forge(
+            kind=kind, gate_mix="mixed", num_pis=8, num_gates=150, num_pos=8, seed=seed
+        )
+        b = network_forge(
+            kind=kind, gate_mix="mixed", num_pis=8, num_gates=150, num_pos=8, seed=seed
+        )
+        for _ in range(4):
+            sweep(a, True)
+            sweep(b, False)
+        assert dump(a) == dump(b)
+
+
+def test_converged_sweep_is_skipped(network_forge):
+    net = network_forge(kind="mig", gate_mix="mixed", num_pis=7, num_gates=80, seed=41)
+    stats = rewrite_mig(net)
+    while stats["rewrites"] or stats["aliased"]:
+        stats = rewrite_mig(net)
+    serial = net._mutation_serial
+    stats = rewrite_mig(net)
+    assert stats["converged_skip"] == 1
+    assert stats["cut_nodes_recomputed"] == 0
+    assert net._mutation_serial == serial, "skipped sweep must not touch the network"
+    # Any structural change re-arms the sweep.
+    mutate_network(net, seed=42, in_place=True)
+    stats = rewrite_mig(net)
+    assert stats["converged_skip"] == 0
+
+
+def test_reuse_counters_report_incrementality(network_forge):
+    net = network_forge(
+        kind="mig", gate_mix="mixed", num_pis=8, num_gates=200, num_pos=10, seed=51
+    )
+    first = rewrite_mig(net)
+    assert first["cut_nodes_reused"] == 0 and first["cut_nodes_recomputed"] > 0
+    second = rewrite_mig(net)
+    if not second["converged_skip"]:
+        assert second["cut_nodes_reused"] > 0
+        assert second["cut_nodes_recomputed"] < first["cut_nodes_recomputed"]
+
+
+def test_rebuild_wrappers_release_cut_state(network_forge):
+    """One-shot rewrite()/refactor() results must not pin a cut cache."""
+    from repro.aig.rewrite import refactor, rewrite
+
+    aig = network_forge(kind="aig", gate_mix="mixed", num_pis=7, num_gates=60, seed=71)
+    for wrapper in (rewrite, refactor):
+        result = wrapper(aig)
+        assert not result.__dict__.get("_cut_managers")
+        assert "_dry_probe_cache" not in result.__dict__
+        assert not result._mutation_listeners
+
+
+def test_for_network_shares_and_detach_releases(network_forge):
+    net = network_forge(kind="mig", num_pis=6, num_gates=30, seed=61)
+    manager = CutManager.for_network(net, k=4, cut_limit=8)
+    assert CutManager.for_network(net, k=4, cut_limit=8) is manager
+    assert CutManager.for_network(net, k=3, cut_limit=6) is not manager
+    manager.detach()
+    assert CutManager.for_network(net, k=4, cut_limit=8) is not manager
+    # A detached manager no longer receives events.
+    mutate_network(net, seed=62, in_place=True)
+    assert not manager._dirty

@@ -1,0 +1,147 @@
+"""Tests for the on-disk NPN structure-database cache.
+
+The contract: a database loaded from the cache file is *structurally
+identical* to a fresh derivation (same ops, output literal, size and
+depth per class), stale or corrupt files are never trusted (semantic
+validation replays every entry's program), and disabling the cache falls
+back to plain derivation.
+"""
+
+import json
+
+import pytest
+
+from repro.network.npn import (
+    DbEntry,
+    entry_truth_table,
+    flush_structure_cache,
+    get_structure,
+    npn_representatives,
+    reset_structure_db,
+    structure_cache_path,
+)
+
+#: A small spread of classes (the full 222x2 derivation belongs to the
+#: benchmarks, not tier-1); slice step chosen to hit constants, literals,
+#: and multi-gate classes alike.
+_SAMPLE = npn_representatives()[::11]
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_NPN_CACHE", raising=False)
+    # Flush entries pending from earlier tests *before* redirecting the
+    # cache dir — a reset afterwards would write them into tmp_path and
+    # pollute the "fresh derivation" side of the round-trip tests.
+    reset_structure_db()
+    monkeypatch.setenv("REPRO_NPN_CACHE_DIR", str(tmp_path))
+    yield tmp_path
+    reset_structure_db()
+
+
+@pytest.mark.parametrize("kind", ["mig", "aig"])
+def test_cached_load_is_structurally_identical(cache_dir, kind):
+    fresh = {table: get_structure(kind, table) for table in _SAMPLE}
+    flush_structure_cache()  # saves are batched; force the pending write
+    path = structure_cache_path(kind)
+    assert path is not None and path.exists()
+
+    reset_structure_db()
+    cached = {table: get_structure(kind, table) for table in _SAMPLE}
+    assert cached == fresh  # DbEntry is a NamedTuple: full structural equality
+
+    # The cached-load path must not have re-derived: loading twice from the
+    # same file yields the same object graph as the file says, and every
+    # entry's program computes its class function.
+    for table, entry in cached.items():
+        assert entry_truth_table(entry) == table
+
+
+def test_corrupt_cache_file_falls_back_to_derivation(cache_dir):
+    table = _SAMPLE[-1]
+    fresh = get_structure("mig", table)
+    flush_structure_cache()
+    path = structure_cache_path("mig")
+    path.write_text("{ not json", encoding="utf-8")
+    reset_structure_db()
+    assert get_structure("mig", table) == fresh
+
+
+def test_semantically_wrong_entry_is_rejected(cache_dir):
+    table = next(t for t in _SAMPLE if get_structure("mig", t).ops)
+    fresh = get_structure("mig", table)
+    flush_structure_cache()
+    path = structure_cache_path("mig")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    # Flip the recorded output polarity: the program no longer computes the
+    # class function, so validation must discard it and re-derive.
+    payload["entries"][str(table)]["output"] ^= 1
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    reset_structure_db()
+    assert get_structure("mig", table) == fresh
+
+
+def test_wrong_arity_entry_is_rejected(cache_dir):
+    """A table-valid MAJ program in the AIG file must not be trusted —
+    the AND builders would crash on 3-fanin ops mid-sweep."""
+    table = next(t for t in _SAMPLE if get_structure("mig", t).ops)
+    mig_entry = get_structure("mig", table)
+    assert any(len(op) == 3 for op in mig_entry.ops)
+    fresh_aig = get_structure("aig", table)
+    flush_structure_cache()
+    path = structure_cache_path("aig")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["entries"][str(table)] = {
+        "ops": [list(op) for op in mig_entry.ops],
+        "output": mig_entry.output,
+        "size": mig_entry.size,
+        "depth": mig_entry.depth,
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    reset_structure_db()
+    assert get_structure("aig", table) == fresh_aig
+
+
+def test_cache_can_be_disabled(cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_NPN_CACHE", "0")
+    assert structure_cache_path("mig") is None
+    table = _SAMPLE[2]
+    entry = get_structure("mig", table)
+    assert entry_truth_table(entry) == table
+    assert not any(cache_dir.iterdir())
+
+
+def test_entry_truth_table_matches_replay():
+    """The pure-table evaluator agrees with an actual network replay."""
+    from repro.core.mig import Mig
+    from repro.network.npn import replay_structure
+
+    for table in _SAMPLE[:8]:
+        entry = get_structure("mig", table)
+        mig = Mig()
+        inputs = [mig.add_pi(f"v{i}") for i in range(4)]
+        mig.add_po(replay_structure(mig, entry, inputs), "f")
+        assert mig.truth_tables()[0] == table
+
+
+def test_validation_rejects_non_canonical_keys(cache_dir):
+    table = _SAMPLE[3]
+    get_structure("mig", table)
+    flush_structure_cache()
+    path = structure_cache_path("mig")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    # Inject an entry under a non-canonical key: it must be ignored (the
+    # canonical map would never look it up, and trusting it would poison
+    # `_DB` for lookups that bypass canonicalization).
+    payload["entries"]["12345"] = {
+        "ops": [],
+        "output": 2,
+        "size": 0,
+        "depth": 0,
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    reset_structure_db()
+    from repro.network.npn import _DB, _load_structure_cache
+
+    _load_structure_cache("mig")
+    assert ("mig", 12345) not in _DB
