@@ -36,7 +36,7 @@ import time
 
 from repro.bench_circuits import BENCHMARKS, build_benchmark
 from repro.core import Mig, mutate_network
-from repro.flows import mighty_optimize
+from repro.parallel.corpus import cec_prove_row, run_corpus
 from repro.verify import check_equivalence
 
 #: Fast >16-input benchmarks for the CI smoke lane.
@@ -49,43 +49,6 @@ MUTATION_BENCHMARK = "my_adder"
 def wide_benchmark_names():
     """Table I benchmarks beyond the exhaustive limit, in table order."""
     return [spec.name for spec in BENCHMARKS.values() if spec.num_inputs > 16]
-
-
-def prove_benchmark(name, rounds, depth_effort):
-    """Prove one pre/post mighty_optimize pair; returns the JSON record."""
-    pre = build_benchmark(name, Mig)
-    post = build_benchmark(name, Mig)
-    t_opt = time.time()
-    mighty_optimize(post, rounds=rounds, depth_effort=depth_effort)
-    t_cec = time.time()
-    result = check_equivalence(pre, post, num_random_vectors=256)
-    elapsed = time.time() - t_cec
-
-    if not result.equivalent:
-        raise AssertionError(
-            f"{name}: mighty_optimize broke equivalence "
-            f"(output {result.failing_output}, cex {result.counterexample})"
-        )
-    if result.method != "sat-sweep":
-        raise AssertionError(
-            f"{name}: expected a sat-sweep proof, got method={result.method!r}"
-        )
-    if result.counterexample is not None:
-        raise AssertionError(f"{name}: proof must not carry a counterexample")
-
-    return {
-        "benchmark": name,
-        "num_pis": pre.num_pis,
-        "num_pos": pre.num_pos,
-        "size_pre": pre.num_gates,
-        "size_post": post.num_gates,
-        "depth_pre": pre.depth(),
-        "depth_post": post.depth(),
-        "method": result.method,
-        "proved": True,
-        "optimize_s": round(t_cec - t_opt, 3),
-        "cec_s": round(elapsed, 3),
-    }
 
 
 def refute_mutants(name, count, seed_base=0):
@@ -154,6 +117,12 @@ def main(argv=None):
     )
     parser.add_argument("--rounds", type=int, default=1)
     parser.add_argument("--depth-effort", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the per-benchmark proof sweep across N worker processes",
+    )
     args = parser.parse_args(argv)
 
     if args.names:
@@ -167,14 +136,30 @@ def main(argv=None):
         "mode": "smoke" if args.smoke else "full",
         "rounds": args.rounds,
         "depth_effort": args.depth_effort,
+        "workers": args.workers,
         "benchmarks": [],
         "mutants": None,
     }
-    for name in names:
-        record = prove_benchmark(name, args.rounds, args.depth_effort)
+    # The proof obligations shard per benchmark through the corpus
+    # runner; each worker proves its pairs end-to-end and the records
+    # come back in benchmark order, identical at any worker count.
+    # Result lines print after the merge, so announce the workload first.
+    print(
+        f"proving {len(names)} benchmarks across {args.workers} worker(s): "
+        f"{', '.join(names)} ...",
+        flush=True,
+    )
+    sweep = run_corpus(
+        cec_prove_row,
+        names,
+        workers=args.workers,
+        rounds=args.rounds,
+        depth_effort=args.depth_effort,
+    )
+    for record in sweep.results:
         report["benchmarks"].append(record)
         print(
-            f"{name:10s} PROVED sat-sweep  size {record['size_pre']}->"
+            f"{record['benchmark']:10s} PROVED sat-sweep  size {record['size_pre']}->"
             f"{record['size_post']}  depth {record['depth_pre']}->"
             f"{record['depth_post']}  (opt {record['optimize_s']}s, "
             f"cec {record['cec_s']}s)",

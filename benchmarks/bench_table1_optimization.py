@@ -5,6 +5,12 @@ benchmark of the synthetic MCNC-like suite and prints the formatted table
 together with the headline averages (MIG depth −18.6% vs AIG and −23.7% vs
 BDD in the paper).
 
+Rows travel through the shared corpus runner's row channel
+(:class:`repro.parallel.corpus.RowChannel`) instead of a module global,
+so the suite is safe under ``pytest-xdist`` and under sharded CI
+invocations (one benchmark per process): the summary test aggregates
+every row present in the channel, wherever it was computed.
+
 Run with ``pytest benchmarks/bench_table1_optimization.py --benchmark-only``.
 """
 
@@ -15,14 +21,20 @@ from repro.flows import (
     format_optimization_table,
     summarize_optimization,
 )
+from repro.parallel.corpus import _optimization_to_row, optimization_from_row
 
 from .conftest import flow_depth_effort, flow_rounds, report, selected_benchmarks
 
-_RESULTS = []
+_SUITE = "table1_optimization"
+
+
+def _config():
+    """Row tag: rows only aggregate with rows of the same flow effort."""
+    return {"rounds": flow_rounds(), "depth_effort": flow_depth_effort()}
 
 
 @pytest.mark.parametrize("name", selected_benchmarks())
-def test_table1_optimization_row(benchmark, name):
+def test_table1_optimization_row(benchmark, name, bench_rows):
     """One Table I (top) row: run the three optimization flows once."""
 
     def run():
@@ -34,7 +46,7 @@ def test_table1_optimization_row(benchmark, name):
         )
 
     result = benchmark.pedantic(run, iterations=1, rounds=1)
-    _RESULTS.append(result)
+    bench_rows.write(_SUITE, name, {"config": _config(), **_optimization_to_row(result)})
     benchmark.extra_info["mig_size"] = result.mig.size
     benchmark.extra_info["mig_depth"] = result.mig.depth
     benchmark.extra_info["aig_size"] = result.aig.size
@@ -48,17 +60,26 @@ def test_table1_optimization_row(benchmark, name):
     assert result.mig.depth > 0
 
 
-def test_table1_optimization_summary(benchmark):
+def test_table1_optimization_summary(benchmark, bench_rows):
     """Print the full table and check the headline shape of the experiment."""
-    if not _RESULTS:
-        pytest.skip("per-benchmark rows did not run")
+    # Only rows produced at this invocation's effort settings aggregate;
+    # a shared REPRO_BENCH_ROWS_DIR may also hold rows of other configs.
+    rows = [
+        row
+        for row in bench_rows.ordered(_SUITE, selected_benchmarks())
+        if row.get("config") == _config()
+    ]
+    if not rows:
+        pytest.skip("no per-benchmark rows for this config in the channel")
+    results = [optimization_from_row(row) for row in rows]
 
     def summarize():
-        return summarize_optimization(_RESULTS)
+        return summarize_optimization(results)
 
     summary = benchmark.pedantic(summarize, iterations=1, rounds=1)
     print()
-    report("Table I (top) — logic optimization\n" + format_optimization_table(_RESULTS))
+    report("Table I (top) — logic optimization\n" + format_optimization_table(results))
+    benchmark.extra_info["rows_aggregated"] = len(results)
     benchmark.extra_info["depth_improvement_vs_aig_percent"] = round(
         summary.depth_improvement_vs_aig, 2
     )

@@ -131,6 +131,20 @@ class Aig(LogicNetwork):
         a, b = fanins
         return self._edge_value(values, a, mask) & self._edge_value(values, b, mask)
 
+    def _compile_gate_eval(self, fanins: Tuple[int, ...]):
+        # Pre-split fanin nodes and complement flags (see Mig's variant):
+        # two list loads, up to two XORs and one AND per pattern.
+        a, b = fanins
+        na, nb = a >> 1, b >> 1
+        ca, cb = a & 1, b & 1
+
+        def evaluate(values: List[int], mask: int) -> int:
+            va = values[na] ^ mask if ca else values[na]
+            vb = values[nb] ^ mask if cb else values[nb]
+            return va & vb
+
+        return evaluate
+
     def _build_gate(self, fanins: Tuple[int, ...]) -> int:
         return self.and_(*fanins)
 

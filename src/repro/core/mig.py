@@ -166,6 +166,23 @@ class Mig(LogicNetwork):
         vc = self._edge_value(values, c, mask)
         return (va & vb) | (va & vc) | (vb & vc)
 
+    def _compile_gate_eval(self, fanins: Tuple[int, ...]):
+        # Fanin nodes and complement flags are constants of the compiled
+        # program, so the per-pattern work is three list loads, up to
+        # three XORs and the majority itself (values are pre-masked,
+        # making ``v ^ mask`` the masked complement).
+        a, b, c = fanins
+        na, nb, nc = a >> 1, b >> 1, c >> 1
+        ca, cb, cc = a & 1, b & 1, c & 1
+
+        def evaluate(values: List[int], mask: int) -> int:
+            va = values[na] ^ mask if ca else values[na]
+            vb = values[nb] ^ mask if cb else values[nb]
+            vc = values[nc] ^ mask if cc else values[nc]
+            return (va & vb) | (va & vc) | (vb & vc)
+
+        return evaluate
+
     def _build_gate(self, fanins: Tuple[int, ...]) -> int:
         return self.maj(*fanins)
 

@@ -27,6 +27,7 @@ from .engine import (
     SizeOpt,
     run_rebuild_chain,
 )
+from .batch import BatchItem, BatchReport, format_batch_report, optimize_many
 from .mighty import MightyResult, mighty_optimize, mighty_pipeline
 from .optimize import (
     OptimizationComparison,
@@ -79,6 +80,11 @@ __all__ = [
     "mighty_optimize",
     "mighty_pipeline",
     "MightyResult",
+    # batch (process-parallel corpus API)
+    "optimize_many",
+    "BatchItem",
+    "BatchReport",
+    "format_batch_report",
     # optimization experiment
     "compare_optimization",
     "run_optimization_experiment",

@@ -61,6 +61,9 @@ class OptimizationComparison:
 
     ``mig_passes`` / ``aig_passes`` hold the engine's per-pass metrics
     trace of the two optimizing flows (empty when a flow did not run).
+    ``*_network`` carry the optimized networks themselves when the row
+    was produced with ``keep_networks=True`` (the sharded corpus runner
+    uses them for structural fingerprints and CEC verdicts).
     """
 
     name: str
@@ -69,6 +72,9 @@ class OptimizationComparison:
     bdd: Optional[NetworkMetrics]
     mig_passes: List[PassMetrics] = field(default_factory=list)
     aig_passes: List[PassMetrics] = field(default_factory=list)
+    mig_network: Optional[object] = None
+    aig_network: Optional[object] = None
+    bdd_network: Optional[object] = None
 
 
 def run_mig_optimization(
@@ -98,8 +104,12 @@ def run_aig_optimization(aig: Aig) -> Tuple[NetworkMetrics, Aig, List[PassMetric
     return measure_network(optimized, runtime_s=runtime), optimized, stats.pass_metrics
 
 
-def run_bdd_optimization(network) -> Optional[NetworkMetrics]:
-    """Run the BDD-decomposition baseline; ``None`` when it is infeasible."""
+def run_bdd_optimization(network, keep_network: bool = False):
+    """Run the BDD-decomposition baseline; ``None`` when it is infeasible.
+
+    Returns the metrics row, or ``(metrics, decomposed_network)`` with
+    ``keep_network=True``.
+    """
     if network.num_pis > BDD_PI_LIMIT:
         return None
     start = time.perf_counter()
@@ -108,7 +118,8 @@ def run_bdd_optimization(network) -> Optional[NetworkMetrics]:
     except (MemoryError, RecursionError):
         return None
     runtime = time.perf_counter() - start
-    return measure_network(decomposed, name=network.name, runtime_s=runtime)
+    metrics = measure_network(decomposed, name=network.name, runtime_s=runtime)
+    return (metrics, decomposed) if keep_network else metrics
 
 
 def compare_optimization(
@@ -116,17 +127,29 @@ def compare_optimization(
     rounds: int = 2,
     depth_effort: int = 2,
     include_bdd: bool = True,
+    keep_networks: bool = False,
 ) -> OptimizationComparison:
-    """Run the three flows of Table I (top) on one benchmark."""
+    """Run the three flows of Table I (top) on one benchmark.
+
+    ``keep_networks=True`` attaches the optimized networks to the row
+    (``mig_network`` / ``aig_network`` / ``bdd_network``) so callers can
+    fingerprint or equivalence-check them.
+    """
     mig = build_benchmark(benchmark, Mig)
     aig = build_benchmark(benchmark, Aig)
 
     mig_metrics, mig_passes = run_mig_optimization(
         mig, rounds=rounds, depth_effort=depth_effort
     )
-    aig_metrics, _optimized_aig, aig_passes = run_aig_optimization(aig)
+    aig_metrics, optimized_aig, aig_passes = run_aig_optimization(aig)
 
-    bdd_metrics = run_bdd_optimization(build_benchmark(benchmark, Mig)) if include_bdd else None
+    bdd_metrics = bdd_network = None
+    if include_bdd:
+        bdd_outcome = run_bdd_optimization(
+            build_benchmark(benchmark, Mig), keep_network=True
+        )
+        if bdd_outcome is not None:
+            bdd_metrics, bdd_network = bdd_outcome
     return OptimizationComparison(
         name=benchmark,
         mig=mig_metrics,
@@ -134,7 +157,16 @@ def compare_optimization(
         bdd=bdd_metrics,
         mig_passes=mig_passes,
         aig_passes=aig_passes,
+        mig_network=mig if keep_networks else None,
+        aig_network=optimized_aig if keep_networks else None,
+        bdd_network=bdd_network if keep_networks else None,
     )
+
+
+def _compare_task(task) -> OptimizationComparison:
+    """Worker task of the sharded experiment: one Table I (top) row."""
+    name, kwargs = task
+    return compare_optimization(name, **kwargs)
 
 
 def run_optimization_experiment(
@@ -142,12 +174,29 @@ def run_optimization_experiment(
     rounds: int = 2,
     depth_effort: int = 2,
     include_bdd: bool = True,
+    workers: int = 1,
 ) -> List[OptimizationComparison]:
-    """Run the full Table I (top) experiment."""
+    """Run the full Table I (top) experiment.
+
+    ``workers > 1`` shards the per-benchmark rows across a process pool
+    (:mod:`repro.parallel`); rows come back in benchmark order and are
+    bit-identical to a serial run — each row is a pure function of its
+    benchmark name.
+    """
     names = benchmarks if benchmarks is not None else benchmark_names()
-    return [
-        compare_optimization(
-            name, rounds=rounds, depth_effort=depth_effort, include_bdd=include_bdd
+    kwargs = {
+        "rounds": rounds,
+        "depth_effort": depth_effort,
+        "include_bdd": include_bdd,
+    }
+    if workers > 1:
+        from ..parallel.executor import parallel_map
+
+        report = parallel_map(
+            _compare_task,
+            [(name, kwargs) for name in names],
+            workers=workers,
+            labels=names,
         )
-        for name in names
-    ]
+        return list(report.results)
+    return [compare_optimization(name, **kwargs) for name in names]

@@ -62,7 +62,7 @@ Cache-exactness invariants (relied on by the optimizers, validated by
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.signal import (
     CONST_FALSE,
@@ -128,6 +128,14 @@ class LogicNetwork:
         # death, PO edits, resets): lets derived-state caches prove "the
         # network has not changed since" with one integer compare.
         self._mutation_serial = 0
+        # Compiled simulation program: one pre-bound gate-eval closure per
+        # PO-reachable gate, keyed by the mutation serial it was compiled
+        # at.  ``simulate_patterns`` is the inner loop of signature
+        # sweeping and exhaustive CEC; the program removes the per-gate
+        # dispatch (fanin-tuple fetch, per-edge complement branches) from
+        # every call on an unchanged network.
+        self._sim_program: Optional[List[Tuple[int, Callable]]] = None
+        self._sim_program_serial = -1
         # Subscribers to structural-change events; each listener exposes
         # ``network_retargeted(node)``, ``network_node_died(node)`` and
         # ``network_reset()``.  The list is empty in the common case, so
@@ -532,10 +540,36 @@ class LogicNetwork:
         for node, pattern in zip(self._pis, pi_patterns):
             values[node] = pattern & mask
 
-        for node in self._topology():
-            values[node] = self._eval_gate(values, self._fanins[node], mask)
+        program = self._sim_program
+        if program is None or self._sim_program_serial != self._mutation_serial:
+            program = [
+                (node, self._compile_gate_eval(self._fanins[node]))
+                for node in self._topology()
+            ]
+            self._sim_program = program
+            self._sim_program_serial = self._mutation_serial
+        for node, evaluate in program:
+            values[node] = evaluate(values, mask)
 
         return [self._edge_value(values, po, mask) for po in self._pos]
+
+    def _compile_gate_eval(
+        self, fanins: Tuple[int, ...]
+    ) -> Callable[[List[int], int], int]:
+        """One gate's evaluation, pre-bound to its (current) fanin tuple.
+
+        Subclasses override with closures that pre-split the fanin nodes
+        and complement flags, eliminating the per-pattern edge-decoding
+        branches of :meth:`_eval_gate`.  Compiled programs are tied to
+        one mutation serial, so a closure never outlives the fanin tuple
+        it was bound to.
+        """
+        eval_gate = self._eval_gate
+
+        def evaluate(values: List[int], mask: int) -> int:
+            return eval_gate(values, fanins, mask)
+
+        return evaluate
 
     def simulate(self, assignment: Sequence[bool]) -> List[bool]:
         """Simulate a single input assignment; returns PO boolean values."""
@@ -833,6 +867,33 @@ class LogicNetwork:
         if self._mutation_listeners:
             for listener in self._mutation_listeners:
                 listener.network_reset()
+
+    # ------------------------------------------------------------------ #
+    # Pickling (process-parallel execution ships networks across workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the structural state only, never process-local caches.
+
+        Mutation listeners (incremental cut managers), the per-network
+        cut-manager registry and the compiled simulation program are
+        derived, process-local state: the first two hold subscriptions
+        meaningless in another process, the last holds unpicklable
+        closures.  All are rebuilt on demand after unpickling.  The
+        structural state itself — node storage, strash, levels, ids —
+        crosses the boundary verbatim, which is what makes a worker's
+        result bit-identical to an in-process run.
+        """
+        state = self.__dict__.copy()
+        state["_mutation_listeners"] = []
+        state["_sim_program"] = None
+        state.pop("_cut_managers", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._mutation_listeners = []
+        self._sim_program = None
+        self._sim_program_serial = -1
 
     def check_integrity(self) -> None:
         """Validate internal invariants; raises ``AssertionError`` on corruption.

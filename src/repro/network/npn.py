@@ -67,6 +67,7 @@ __all__ = [
     "DbEntry",
     "entry_truth_table",
     "get_structure",
+    "derive_structures_parallel",
     "replay_structure",
     "structure_cache_path",
     "flush_structure_cache",
@@ -476,6 +477,91 @@ def get_structure(kind: str, canonical_table: int) -> DbEntry:
                 _DB_PENDING[kind] = 0
                 _save_structure_cache(kind)
     return entry
+
+
+def _warm_canonical() -> None:
+    """Pool warm-up of the parallel derivation: the canonical map only.
+
+    The default pool warm-up preloads the full structure database, which
+    would defeat the point of measuring a parallel cold start.
+    """
+    _canonical_map()
+
+
+def _derive_shard(task) -> List[Tuple[str, int, DbEntry]]:
+    """Worker task: derive the entries of one ``(kind, tables)`` shard.
+
+    Calls :func:`_derive_structure` directly — bypassing both the
+    in-memory database and the disk cache — so every worker derives from
+    first principles and never races another worker's cache writes; the
+    parent merges the returned entries and persists once.  Derivation is
+    a pure function of ``(kind, table)``, so shard composition cannot
+    change any entry.
+    """
+    kind, tables = task
+    return [(kind, table, _derive_structure(kind, table)) for table in tables]
+
+
+def derive_structures_parallel(
+    kinds: Tuple[str, ...] = ("mig", "aig"),
+    workers: Optional[int] = None,
+    classes_per_shard: int = 16,
+) -> Dict[str, object]:
+    """Derive the full structure database sharded across worker processes.
+
+    The 222 canonical classes x ``len(kinds)`` kinds are split into
+    shards of ``classes_per_shard`` classes (sharded deterministically by
+    canonical-class order); each worker derives its shard from first
+    principles, the parent merges the results into the in-memory
+    database and writes them through the existing content-hash disk
+    cache in one atomic save per kind.  Entries are **structurally
+    identical to a serial derivation** (asserted by
+    ``tests/parallel/test_parallel.py``); the merge never clobbers an
+    entry that is already in memory.
+
+    Returns a stats dict (classes, kinds, workers, wall-clock, merge
+    counts).  With ``workers=1`` the same shard tasks run in-process —
+    useful as the determinism baseline.
+    """
+    from ..parallel.executor import parallel_map
+
+    if classes_per_shard < 1:
+        raise ValueError(f"classes_per_shard must be >= 1, got {classes_per_shard}")
+    reps = npn_representatives()
+    tasks = []
+    for kind in kinds:
+        if kind not in _KIND_ARITY:
+            raise ValueError(f"unknown database kind {kind!r}")
+        for start in range(0, len(reps), classes_per_shard):
+            tasks.append((kind, tuple(reps[start:start + classes_per_shard])))
+
+    report = parallel_map(
+        _derive_shard,
+        tasks,
+        workers=workers,
+        labels=[f"{kind}[{shard[0]:#06x}..]" for kind, shard in tasks],
+        warmup=_warm_canonical,
+    )
+    merged = 0
+    for shard_result in report.results:
+        for kind, table, entry in shard_result:
+            if _DB.setdefault((kind, table), entry) is entry:
+                merged += 1
+    for kind in kinds:
+        # The database is now complete for these kinds: mark the disk
+        # cache as consulted and persist the merged entries atomically.
+        _DB_LOADED.add(kind)
+        _DB_PENDING[kind] = 0
+        _save_structure_cache(kind)
+    return {
+        "classes": len(reps),
+        "kinds": list(kinds),
+        "entries_merged": merged,
+        "workers": report.workers,
+        "shards": report.num_shards,
+        "parallel": report.parallel,
+        "wall_s": round(report.wall_s, 3),
+    }
 
 
 def replay_structure(net, entry: DbEntry, inputs) -> int:

@@ -1,0 +1,50 @@
+"""Process-parallel execution layer: deterministic sharding over a pool.
+
+The repository's heavyweight workloads — the Table I benchmark sweeps,
+whole-corpus ``mighty_optimize``/``resyn2`` batches, the 222-class NPN
+structure-database derivation, per-output final SAT calls — are
+embarrassingly parallel: independent tasks over a fixed item list.  This
+package provides the one orchestration substrate they all share:
+
+* :func:`~repro.parallel.executor.plan_shards` — a deterministic shard
+  planner (contiguous chunks over a cost-ordered index list);
+* :func:`~repro.parallel.executor.parallel_map` — a chunked process-pool
+  executor with worker warm-up and per-task metric records;
+* :func:`~repro.parallel.executor.warm_worker` — preloads the import-once
+  network kernels and the disk-cached NPN database so forked workers
+  inherit a hot process image instead of re-deriving per task;
+* :mod:`repro.parallel.corpus` (imported separately — it pulls in the
+  flow stack) — the shared corpus runner of the benchmark harness plus
+  the crash-safe row channel used by the sharded Table I sweeps.
+
+Sharding/determinism contract
+-----------------------------
+Results are **bit-identical to a serial run** regardless of worker
+count: every task is a pure function of its item (networks cross the
+process boundary by pickling, which preserves node ids exactly, and
+every optimization flow is deterministic on identical structure), tasks
+never share mutable state, and :func:`parallel_map` reassembles results
+by original item index — OS scheduling only changes *when* a task runs,
+never what it computes or where its result lands.  Parallelism is
+therefore a pure wall-clock win; ``benchmarks/bench_parallel.py`` and
+``tests/parallel/`` assert the contract (same node ids, sizes, depths
+and CEC verdicts at 1, 2 and 4 workers).
+"""
+
+from .executor import (
+    ParallelReport,
+    TaskRecord,
+    default_workers,
+    parallel_map,
+    plan_shards,
+    warm_worker,
+)
+
+__all__ = [
+    "ParallelReport",
+    "TaskRecord",
+    "default_workers",
+    "parallel_map",
+    "plan_shards",
+    "warm_worker",
+]

@@ -18,7 +18,18 @@ lineage, self-contained and pure python so the equivalence checker has a
   thousands of candidate-equivalence queries against one clause database;
 * a **conflict budget** per call — :data:`UNKNOWN` is a first-class
   answer, letting callers fall back to another proof engine instead of
-  hanging on a hard instance.
+  hanging on a hard instance;
+* **LBD-based learned-clause database reduction** (Glucose-style): each
+  learned clause records its literal-block distance — the number of
+  distinct decision levels among its literals at learning time — and
+  when the database exceeds a geometrically growing limit the worst
+  (highest-LBD, then longest) half of the deletable clauses is dropped.
+  Glue clauses (LBD ≤ 2) and clauses currently acting as propagation
+  reasons are never deleted, so the reduction is sound mid-search.
+  Long-lived incremental sessions — a sweeping worker discharging
+  thousands of queries against one solver — therefore hold memory
+  roughly constant instead of growing without bound; deletions are
+  visible in :attr:`SatSolver.stats` (``clauses_deleted``).
 
 Literal encoding follows the network-signal convention of
 :mod:`repro.core.signal`: literal ``2*v`` is variable ``v``, literal
@@ -57,7 +68,9 @@ def _luby(i: int) -> int:
 class SatSolver:
     """An incremental CDCL solver over clauses of integer literals."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, reduce_base: int = 4000, reduce_growth: float = 1.3
+    ) -> None:
         self._num_vars = 0
         # Per-literal truth value (index = literal); per-variable metadata.
         self._value: List[int] = []
@@ -75,11 +88,21 @@ class SatSolver:
         self._var_decay = 1.0 / 0.95
         self._ok = True
         self._model: Optional[List[int]] = None
+        # Learned-clause database: the clause lists plus their LBD scores
+        # (keyed by clause identity — clauses are mutable lists, equal
+        # contents must not alias).  ``_reduce_limit`` grows geometrically
+        # so reductions stay rare on easy runs.
+        self._learnts: List[list] = []
+        self._lbd: dict = {}
+        self._reduce_limit = max(100, int(reduce_base))
+        self._reduce_growth = max(1.01, float(reduce_growth))
         # Statistics (exposed read-only through :attr:`stats`).
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_solve_calls = 0
+        self.num_reductions = 0
+        self.num_clauses_deleted = 0
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -153,6 +176,9 @@ class SatSolver:
             "decisions": self.num_decisions,
             "propagations": self.num_propagations,
             "solve_calls": self.num_solve_calls,
+            "learnt_clauses": len(self._learnts),
+            "reductions": self.num_reductions,
+            "clauses_deleted": self.num_clauses_deleted,
         }
 
     # ------------------------------------------------------------------ #
@@ -194,12 +220,21 @@ class SatSolver:
                         self._ok = False
                         return UNSAT
                     learnt, bt_level = self._analyze(confl)
+                    if len(learnt) > 1:
+                        # LBD must be read before backjumping unassigns
+                        # the literals' decision levels.
+                        level = self._level
+                        lbd = len({level[q >> 1] for q in learnt})
                     self._cancel_until(bt_level)
                     if len(learnt) == 1:
                         self._enqueue(learnt[0], None)
                     else:
                         self._attach(learnt)
                         self._enqueue(learnt[0], learnt)
+                        self._learnts.append(learnt)
+                        self._lbd[id(learnt)] = lbd
+                        if len(self._learnts) >= self._reduce_limit:
+                            self._reduce_db()
                     self._var_inc *= self._var_decay
                     if self._var_inc > 1e100:
                         self._rescale_activity()
@@ -367,6 +402,44 @@ class SatSolver:
                 max_i = k
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
         return learnt, level[learnt[1] >> 1]
+
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the deletable learned clauses.
+
+        Learned clauses are implied by the problem clauses, so deletion
+        never affects soundness — only which propagations come for free.
+        Protected from deletion: glue clauses (LBD ≤ 2, the Glucose
+        criterion for clauses worth keeping forever) and clauses
+        currently referenced as a propagation reason on the trail (their
+        list objects back implication-graph edges).  Runs at any decision
+        level; the limit then grows geometrically so a run that keeps
+        learning useful clauses is not throttled.
+        """
+        lbd = self._lbd
+        reason_ids = {id(r) for r in self._reason if r is not None}
+        keep: List[list] = []
+        deletable: List[list] = []
+        for clause in self._learnts:
+            if lbd[id(clause)] <= 2 or id(clause) in reason_ids:
+                keep.append(clause)
+            else:
+                deletable.append(clause)
+        deletable.sort(key=lambda c: (-lbd[id(c)], -len(c)))
+        cut = len(deletable) // 2
+        deleted, kept_tail = deletable[:cut], deletable[cut:]
+        if deleted:
+            watches = self._watches
+            deleted_ids = {id(c) for c in deleted}
+            for lit in {lit for c in deleted for lit in (c[0], c[1])}:
+                watches[lit] = [
+                    c for c in watches[lit] if id(c) not in deleted_ids
+                ]
+            for c in deleted:
+                del lbd[id(c)]
+            self.num_clauses_deleted += len(deleted)
+        self._learnts = keep + kept_tail
+        self.num_reductions += 1
+        self._reduce_limit = int(self._reduce_limit * self._reduce_growth)
 
     def _cancel_until(self, target_level: int) -> None:
         if len(self._trail_lim) <= target_level:

@@ -1,0 +1,89 @@
+"""The memoized gate-eval program behind ``simulate_patterns``.
+
+``simulate_patterns`` compiles one pre-bound closure per PO-reachable
+gate and reuses the program while the network's mutation serial is
+unchanged.  These tests pin the program against the uncompiled reference
+path (driving ``_eval_gate`` directly), across in-place mutations,
+``assign_from`` resets and pickling.
+"""
+
+import pickle
+import random
+
+from repro.core import mutate_network
+
+
+def _reference_simulation(net, pi_patterns, num_bits):
+    """The pre-compilation evaluation loop, kept as the oracle."""
+    mask = (1 << num_bits) - 1
+    values = [0] * len(net._fanins)
+    for node, pattern in zip(net._pis, pi_patterns):
+        values[node] = pattern & mask
+    for node in net._topology():
+        values[node] = net._eval_gate(values, net._fanins[node], mask)
+    return [net._edge_value(values, po, mask) for po in net._pos]
+
+
+def _random_patterns(rng, num_pis, num_bits):
+    return [rng.getrandbits(num_bits) for _ in range(num_pis)]
+
+
+class TestSimulationProgram:
+    def test_matches_reference_on_both_kinds(self, network_forge):
+        rng = random.Random(3)
+        for kind in ("mig", "aig"):
+            net = network_forge(kind=kind, gate_mix="mixed", num_pis=8,
+                                num_gates=60, num_pos=5, seed=17)
+            for _ in range(3):
+                patterns = _random_patterns(rng, net.num_pis, 64)
+                assert net.simulate_patterns(patterns, 64) == _reference_simulation(
+                    net, patterns, 64
+                )
+
+    def test_program_is_reused_until_mutation(self, network_forge):
+        net = network_forge(kind="mig", num_pis=6, num_gates=40, seed=4)
+        patterns = _random_patterns(random.Random(1), net.num_pis, 32)
+        net.simulate_patterns(patterns, 32)
+        program = net._sim_program
+        assert program is not None
+        net.simulate_patterns(patterns, 32)
+        assert net._sim_program is program  # unchanged network: same program
+
+    def test_recompiles_after_in_place_mutation(self, network_forge):
+        rng = random.Random(9)
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=7,
+                            num_gates=50, num_pos=4, seed=23)
+        patterns = _random_patterns(rng, net.num_pis, 64)
+        net.simulate_patterns(patterns, 64)  # charge the program
+        for step in range(6):
+            mutate_network(net, seed=step, in_place=True)
+            assert net.simulate_patterns(patterns, 64) == _reference_simulation(
+                net, patterns, 64
+            ), f"stale program after mutation {step}"
+
+    def test_recompiles_after_assign_from(self, network_forge):
+        net = network_forge(kind="mig", num_pis=6, num_gates=40, seed=5)
+        other = network_forge(kind="mig", num_pis=6, num_gates=35, seed=6)
+        patterns = _random_patterns(random.Random(2), 6, 32)
+        net.simulate_patterns(patterns, 32)
+        net.assign_from(other)
+        assert net.simulate_patterns(patterns, 32) == other.simulate_patterns(
+            patterns, 32
+        )
+
+    def test_pickle_drops_program_and_resimulates(self, network_forge):
+        net = network_forge(kind="aig", gate_mix="mixed", num_pis=7,
+                            num_gates=45, seed=8)
+        patterns = _random_patterns(random.Random(4), net.num_pis, 64)
+        expected = net.simulate_patterns(patterns, 64)
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone._sim_program is None
+        assert clone._mutation_listeners == []
+        assert clone.simulate_patterns(patterns, 64) == expected
+
+    def test_truth_tables_unchanged(self, network_forge):
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=5,
+                            num_gates=30, num_pos=3, seed=12)
+        tables = net.truth_tables()
+        clone = net.copy()
+        assert clone.truth_tables() == tables

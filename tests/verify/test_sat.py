@@ -145,3 +145,74 @@ class TestAssumptions:
         s = SatSolver()
         with pytest.raises(ValueError):
             s.solve([4])
+
+
+class TestClauseDatabaseReduction:
+    """LBD-based learned-clause deletion (long incremental sessions)."""
+
+    def test_reduction_triggers_and_counts(self):
+        solver = _pigeonhole(8, 7)
+        solver._reduce_limit = 120  # force reductions on a hard instance
+        assert solver.solve() == UNSAT
+        stats = solver.stats
+        assert stats["reductions"] > 0
+        assert stats["clauses_deleted"] > 0
+        # The in-memory database shrank below what was learned in total.
+        assert stats["learnt_clauses"] < stats["conflicts"]
+
+    def test_answers_survive_aggressive_reduction(self):
+        # Same oracle harness as TestAgainstBruteForce, with the database
+        # limit small enough that reductions run constantly: deleting
+        # learned clauses must never flip a verdict or break a model.
+        rng = random.Random(7)
+        for trial in range(40):
+            n = rng.randint(4, 8)
+            m = rng.randint(10, 45)
+            clauses = []
+            for _ in range(m):
+                vs = rng.sample(range(n), 3)
+                clauses.append([(v << 1) | rng.randint(0, 1) for v in vs])
+            expected = SAT if _brute_force_sat(n, clauses) else UNSAT
+            solver = SatSolver(reduce_base=100)
+            solver._reduce_limit = 5
+            solver.ensure_vars(n)
+            feasible = all(solver.add_clause(c) for c in clauses)
+            result = solver.solve() if feasible else UNSAT
+            assert result == expected, (trial, clauses)
+            if result == SAT:
+                model = [solver.model_value(v << 1) for v in range(n)]
+                assert all(
+                    any(model[l >> 1] != (l & 1) for l in c) for c in clauses
+                ), (trial, "model does not satisfy the formula")
+
+    def test_incremental_session_stays_sound_across_reductions(self):
+        # Equality chain under alternating assumptions, with a tiny limit:
+        # reductions interleave with incremental calls and must preserve
+        # the learned-clause soundness across them.
+        s = SatSolver(reduce_base=100)
+        s._reduce_limit = 4
+        xs = [s.new_var() for _ in range(10)]
+        for u, v in zip(xs, xs[1:]):
+            s.add_clause([(u << 1) | 1, v << 1])
+            s.add_clause([u << 1, (v << 1) | 1])
+        first, last = xs[0] << 1, xs[-1] << 1
+        for _ in range(12):
+            assert s.solve([first, last]) == SAT
+            assert s.solve([first, last ^ 1]) == UNSAT
+
+    def test_deleted_clauses_fully_detached(self):
+        solver = _pigeonhole(7, 6)
+        solver._reduce_limit = 60
+        assert solver.solve() == UNSAT
+        assert solver.stats["clauses_deleted"] > 0
+        # Watch-list consistency after reductions: every surviving learned
+        # clause is watched exactly twice (at its two watch positions) and
+        # has an LBD record; nothing else with an LBD record survives.
+        learnt_ids = {id(c) for c in solver._learnts}
+        assert set(solver._lbd) == learnt_ids
+        watch_counts = {lid: 0 for lid in learnt_ids}
+        for watch_list in solver._watches:
+            for clause in watch_list:
+                if id(clause) in watch_counts:
+                    watch_counts[id(clause)] += 1
+        assert all(count == 2 for count in watch_counts.values())
