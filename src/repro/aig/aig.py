@@ -40,6 +40,8 @@ class Aig(LogicNetwork):
     """
 
     GATE_KIND = "AND"
+    # AND2 over the two fanin edge values: on-set {11}.
+    UNIFORM_GATE_TT = 0x8
 
     def __init__(self) -> None:
         super().__init__()

@@ -1,0 +1,173 @@
+"""Picklable Tseitin clause streams generated from the shared traversal.
+
+Every SAT call used to re-walk the gate graph: a fresh
+:class:`~repro.verify.cnf.GateGraph`, one :func:`encode_network` pass per
+network, then per-clause ``add_clause`` into the solver.  This module
+makes the encode a *generated artifact* with the same lifecycle as the
+simulation kernels of :mod:`.simgen`:
+
+* :func:`clause_stream` encodes a network once per mutation serial —
+  through the exact :class:`GateGraph` normalization/strashing machinery,
+  driven by the same cached :func:`~repro.codegen.ir.network_ir`
+  traversal the simulation kernel uses — and caches the result on the
+  network, so repeated SAT construction on an unchanged network is a
+  dictionary lookup;
+* :class:`ClauseStream` stores the clause database as two flat integer
+  arrays (literals plus clause offsets).  That makes the snapshot cheap
+  to pickle — the form in which :func:`repro.verify.sweep.sat_sweep`
+  ships a swept miter to its ``final_workers`` pool — and
+  :meth:`ClauseStream.load_into` rebuilds a solver through the unchecked
+  bulk loader (:meth:`SatSolver.add_clause_unchecked`), skipping the
+  per-literal tautology/duplicate scan that is redundant for clauses a
+  ``GateGraph`` emitted.
+
+Clause content and order are identical to ``graph.clauses``, which keeps
+every worker's verdict a pure function of ``(stream, pair, budget)`` —
+the determinism contract of :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..verify.cnf import GateGraph, encode_network
+
+__all__ = ["ClauseStream", "clause_stream", "miter_stream"]
+
+
+class ClauseStream:
+    """A frozen CNF snapshot: flat literal/offset arrays plus metadata."""
+
+    __slots__ = ("num_pis", "num_vars", "po_lits", "_lits", "_offsets")
+
+    def __init__(
+        self,
+        num_pis: int,
+        num_vars: int,
+        clauses: Sequence[Sequence[int]],
+        po_lits: Tuple[int, ...] = (),
+    ) -> None:
+        self.num_pis = num_pis
+        self.num_vars = num_vars
+        self.po_lits = tuple(po_lits)
+        lits = array("q")
+        offsets = array("q", [0])
+        for clause in clauses:
+            lits.extend(clause)
+            offsets.append(len(lits))
+        self._lits = lits
+        self._offsets = offsets
+
+    @classmethod
+    def from_graph(
+        cls, graph: GateGraph, po_lits: Sequence[int] = ()
+    ) -> "ClauseStream":
+        return cls(graph.num_pis, graph.num_vars, graph.clauses, tuple(po_lits))
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._offsets) - 1
+
+    def clauses(self) -> Iterator[List[int]]:
+        """Iterate the clauses as literal lists (identical to the graph's)."""
+        lits = self._lits
+        offsets = self._offsets
+        for i in range(len(offsets) - 1):
+            yield list(lits[offsets[i] : offsets[i + 1]])
+
+    def clause_lists(self) -> List[List[int]]:
+        return list(self.clauses())
+
+    def load_into(self, solver) -> bool:
+        """Rebuild ``solver`` from the snapshot via the unchecked fast path.
+
+        Safe because ``GateGraph`` emits clean clauses: no tautologies or
+        duplicate literals, and the only unit is the constant pin, whose
+        variable no other clause mentions.  Returns the solver's
+        satisfiability-so-far flag, like ``add_clause``.
+        """
+        solver.ensure_vars(self.num_vars)
+        lits = self._lits
+        offsets = self._offsets
+        ok = True
+        for i in range(len(offsets) - 1):
+            ok = solver.add_clause_unchecked(lits[offsets[i] : offsets[i + 1]].tolist())
+            if not ok:
+                break
+        return ok
+
+    def pi_lit(self, index: int) -> int:
+        if not 0 <= index < self.num_pis:
+            raise IndexError(f"PI index {index} out of range")
+        return (1 + index) << 1
+
+    def __reduce__(self):
+        # array('q') pickles efficiently on its own; rebuild through the
+        # raw state rather than re-chunking clauses on load.
+        return (
+            _rebuild_stream,
+            (self.num_pis, self.num_vars, self.po_lits,
+             self._lits.tobytes(), self._offsets.tobytes()),
+        )
+
+
+def _rebuild_stream(num_pis, num_vars, po_lits, lits_bytes, offsets_bytes):
+    stream = ClauseStream.__new__(ClauseStream)
+    stream.num_pis = num_pis
+    stream.num_vars = num_vars
+    stream.po_lits = po_lits
+    lits = array("q")
+    lits.frombytes(lits_bytes)
+    offsets = array("q")
+    offsets.frombytes(offsets_bytes)
+    stream._lits = lits
+    stream._offsets = offsets
+    return stream
+
+
+# --------------------------------------------------------------------- #
+# Per-network cached generation
+# --------------------------------------------------------------------- #
+def clause_stream(network) -> ClauseStream:
+    """The Tseitin clause stream of ``network``, serial-cached.
+
+    Clause content, order and PO literals are exactly what
+    ``encode_network`` into a fresh :class:`GateGraph` produces; the
+    stream is regenerated whenever the network's mutation serial moves
+    and the cache is stripped by the kernel's ``__getstate__`` (see the
+    package docstring).
+    """
+    serial = getattr(network, "_mutation_serial", None)
+    if serial is not None:
+        cached = network.__dict__.get("_codegen_clauses")
+        if (
+            cached is not None
+            and network.__dict__.get("_codegen_clauses_serial") == serial
+        ):
+            return cached
+    graph = GateGraph(network.num_pis)
+    po_lits = encode_network(graph, network)
+    stream = ClauseStream.from_graph(graph, po_lits)
+    if serial is not None:
+        network.__dict__["_codegen_clauses"] = stream
+        network.__dict__["_codegen_clauses_serial"] = serial
+    return stream
+
+
+def miter_stream(first, second) -> ClauseStream:
+    """Encode a two-network miter into one snapshot.
+
+    ``po_lits`` holds the per-output XOR literals followed by the
+    aggregated miter output (the layout of
+    :class:`~repro.verify.cnf.MiterCnf`, flattened); asserting the last
+    literal asks a solver loaded from the stream for a distinguishing
+    pattern.  Not cached: miters pair two networks, so the single-network
+    serial key does not apply.
+    """
+    from ..verify.cnf import build_miter
+
+    miter = build_miter(first, second)
+    return ClauseStream.from_graph(
+        miter.graph, tuple(miter.xors) + (miter.output,)
+    )

@@ -68,6 +68,8 @@ class Mig(LogicNetwork):
     """
 
     GATE_KIND = "majority"
+    # MAJ3 over the three fanin edge values: on-set {011, 101, 110, 111}.
+    UNIFORM_GATE_TT = 0xE8
 
     def __init__(self) -> None:
         super().__init__()

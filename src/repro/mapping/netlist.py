@@ -153,6 +153,32 @@ class MappedNetlist:
     # Simulation (used to verify the mapping)
     # ------------------------------------------------------------------ #
     def simulate_patterns(self, pi_patterns: Sequence[int], num_bits: int) -> List[int]:
+        """Bit-parallel simulation through the generated kernel.
+
+        Netlists are append-only (nothing is retargeted in place), so the
+        kernel is cached by the construction shape — see
+        :func:`repro.codegen.ir.netlist_ir`; mapper verification therefore
+        pays per-cell dispatch once, at generation time, not per call.
+        """
+        return self.compiled_kernel().simulate_auto(pi_patterns, num_bits)
+
+    def compiled_kernel(self):
+        """The generated :class:`repro.codegen.SimKernel`, shape-cached."""
+        from ..codegen.ir import netlist_shape_key
+        from ..codegen.simgen import compile_netlist_kernel
+
+        key = netlist_shape_key(self)
+        kernel = self.__dict__.get("_codegen_kernel")
+        if kernel is None or self.__dict__.get("_codegen_kernel_key") != key:
+            kernel = compile_netlist_kernel(self)
+            self._codegen_kernel = kernel
+            self._codegen_kernel_key = key
+        return kernel
+
+    def simulate_patterns_interpreted(
+        self, pi_patterns: Sequence[int], num_bits: int
+    ) -> List[int]:
+        """Per-cell interpreted simulation (the differential oracle)."""
         if len(pi_patterns) != len(self.pi_names):
             raise ValueError(
                 f"expected {len(self.pi_names)} PI patterns, got {len(pi_patterns)}"
@@ -168,6 +194,14 @@ class MappedNetlist:
             inputs = [values.get(net, 0) for net in instance.inputs]
             values[instance.output] = cell.evaluate(inputs, mask)
         return [values.get(net, 0) for net in self.po_nets]
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        # Generated artifacts hold code objects; regenerate after unpickling.
+        for key in ("_codegen_kernel", "_codegen_kernel_key",
+                    "_codegen_ir", "_codegen_ir_key"):
+            state.pop(key, None)
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

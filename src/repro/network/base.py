@@ -79,6 +79,18 @@ from ..core.signal import (
 
 __all__ = ["LogicNetwork"]
 
+#: ``__dict__`` keys of generated artifacts (see :mod:`repro.codegen`),
+#: stripped on pickle and regenerated on demand in the new process.
+_CODEGEN_STATE_KEYS = (
+    "_codegen_ir",
+    "_codegen_ir_serial",
+    "_codegen_kernel",
+    "_codegen_kernel_serial",
+    "_codegen_clauses",
+    "_codegen_clauses_serial",
+    "_sim_seen_serial",
+)
+
 
 class LogicNetwork:
     """Base class of homogeneous logic networks with complemented edges.
@@ -87,6 +99,14 @@ class LogicNetwork:
     appended as created.  Signals use the ``(node << 1) | complement``
     encoding of :mod:`repro.core.signal`.
     """
+
+    #: When every gate of the subclass computes one fixed function over
+    #: its fanin *edge* values, its truth table (majority ``0xE8`` for
+    #: MIGs, AND ``0x8`` for AIGs); ``None`` makes consumers fall back to
+    #: per-node :meth:`gate_truth_table` calls.  Used by
+    #: :func:`repro.codegen.ir.network_ir` to skip the projection-pattern
+    #: evaluation per gate when flattening a network.
+    UNIFORM_GATE_TT: Optional[int] = None
 
     #: Human-readable gate kind used in error messages ("majority", "AND").
     GATE_KIND: str = "gate"
@@ -530,7 +550,46 @@ class LogicNetwork:
         ``pi_patterns[i]`` is an integer whose ``num_bits`` low bits are the
         stimulus of the ``i``-th primary input.  Returns one pattern per
         primary output.
+
+        Two tiers run behind this entry point.  The first call at a new
+        mutation serial uses the memoized closure program
+        (:meth:`simulate_patterns_interpreted`) — cheap to build, so
+        mutate-once/simulate-once loops never pay more.  A repeat call at
+        the same serial promotes to the generated straight-line kernel of
+        :mod:`repro.codegen`, which removes the remaining per-gate closure
+        dispatch from every subsequent call.  Both tiers are bit-identical
+        by the differential tests of ``tests/codegen``.
         """
+        serial = self._mutation_serial
+        kernel = self.__dict__.get("_codegen_kernel")
+        if kernel is not None and self.__dict__.get("_codegen_kernel_serial") == serial:
+            return kernel.simulate(pi_patterns, num_bits)
+        if self.__dict__.get("_sim_seen_serial") == serial:
+            return self.compiled_kernel().simulate(pi_patterns, num_bits)
+        self.__dict__["_sim_seen_serial"] = serial
+        return self.simulate_patterns_interpreted(pi_patterns, num_bits)
+
+    def compiled_kernel(self):
+        """The generated :class:`repro.codegen.SimKernel` for this network.
+
+        Serial-cached; compiling is deferred to here so the cost is only
+        paid by call sites that simulate the same network state repeatedly
+        (or ask explicitly, as the exhaustive-CEC block loop does).
+        """
+        serial = self._mutation_serial
+        kernel = self.__dict__.get("_codegen_kernel")
+        if kernel is None or self.__dict__.get("_codegen_kernel_serial") != serial:
+            from ..codegen.simgen import compile_network_kernel
+
+            kernel = compile_network_kernel(self)
+            self.__dict__["_codegen_kernel"] = kernel
+            self.__dict__["_codegen_kernel_serial"] = serial
+        return kernel
+
+    def simulate_patterns_interpreted(
+        self, pi_patterns: Sequence[int], num_bits: int
+    ) -> List[int]:
+        """The closure-program simulation tier (and differential oracle)."""
         if len(pi_patterns) != len(self._pis):
             raise ValueError(
                 f"expected {len(self._pis)} PI patterns, got {len(pi_patterns)}"
@@ -887,6 +946,10 @@ class LogicNetwork:
         state["_mutation_listeners"] = []
         state["_sim_program"] = None
         state.pop("_cut_managers", None)
+        # Generated artifacts (repro.codegen): compiled kernels hold code
+        # objects, and everything here is regenerable from the structure.
+        for key in _CODEGEN_STATE_KEYS:
+            state.pop(key, None)
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -894,6 +957,8 @@ class LogicNetwork:
         self._mutation_listeners = []
         self._sim_program = None
         self._sim_program_serial = -1
+        for key in _CODEGEN_STATE_KEYS:
+            self.__dict__.pop(key, None)
 
     def check_integrity(self) -> None:
         """Validate internal invariants; raises ``AssertionError`` on corruption.

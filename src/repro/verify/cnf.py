@@ -53,16 +53,6 @@ _TT_OR2 = 0xE
 _TT_MAJ3 = 0xE8
 
 
-def _projection(i: int, k: int) -> int:
-    """Truth-table projection pattern of input ``i`` among ``k`` inputs."""
-    num_bits = 1 << k
-    block = (1 << (1 << i)) - 1
-    pattern = 0
-    for start in range(1 << i, num_bits, 1 << (i + 1)):
-        pattern |= block << start
-    return pattern
-
-
 def _tt_restrict(tt: int, k: int, i: int, value: int) -> int:
     """Cofactor ``tt`` with input ``i`` fixed to ``value`` (drops input ``i``)."""
     out = 0
@@ -390,42 +380,33 @@ def encode_network(graph: GateGraph, network, add_gate=None) -> List[int]:
 
 
 def _encode_logic_network(graph: GateGraph, network, add_gate) -> List[int]:
-    node_lit = {0: FALSE_LIT}
-    for index, node in enumerate(network.pi_nodes()):
-        node_lit[node] = graph.pi_lit(index)
-    for node in network.topological_order():
-        in_lits = tuple(
-            node_lit[f >> 1] ^ (f & 1) for f in network.fanins(node)
-        )
-        node_lit[node] = add_gate(network.gate_truth_table(node), in_lits)
-    return [node_lit[po >> 1] ^ (po & 1) for po in network.po_signals()]
+    from ..codegen.ir import network_ir  # lazy: repro.codegen imports us
 
-
-_CELL_TT_CACHE: Dict[str, int] = {}
-
-
-def _cell_tt(cell) -> int:
-    tt = _CELL_TT_CACHE.get(cell.name)
-    if tt is None:
-        k = cell.num_inputs
-        mask = (1 << (1 << k)) - 1
-        tt = cell.evaluate([_projection(i, k) for i in range(k)], mask)
-        _CELL_TT_CACHE[cell.name] = tt
-    return tt
+    return _encode_program(graph, network_ir(network), add_gate)
 
 
 def _encode_netlist(graph: GateGraph, netlist, add_gate) -> List[int]:
-    net_lit: Dict[str, int] = {}
-    for index, name in enumerate(netlist.pi_names):
-        net_lit[name] = graph.pi_lit(index)
-    for net, value in getattr(netlist, "_net_constants", {}).items():
-        net_lit[net] = TRUE_LIT if value else FALSE_LIT
-    for instance in netlist.instances:
-        cell = netlist.library[instance.cell]
-        # Undriven nets default to constant 0, mirroring simulate_patterns.
-        in_lits = tuple(net_lit.get(n, FALSE_LIT) for n in instance.inputs)
-        net_lit[instance.output] = add_gate(_cell_tt(cell), in_lits)
-    return [net_lit.get(n, FALSE_LIT) for n in netlist.po_nets]
+    from ..codegen.ir import netlist_ir  # lazy: repro.codegen imports us
+
+    return _encode_program(graph, netlist_ir(netlist), add_gate)
+
+
+def _encode_program(graph: GateGraph, program, add_gate) -> List[int]:
+    """Encode a flattened :class:`~repro.codegen.ir.SimProgram`.
+
+    The same cached traversal that drives the generated simulation
+    kernels drives the CNF encode: slot 0 is the constant (so a
+    complemented edge to it is ``TRUE_LIT``), per-gate truth tables are
+    resolved once at flattening time, and undriven netlist slots stay at
+    ``FALSE_LIT`` — all matching the previous per-network walks.
+    """
+    slot_lit = [FALSE_LIT] * program.num_slots
+    for index, slot in enumerate(program.pi_slots):
+        slot_lit[slot] = graph.pi_lit(index)
+    for out, tt, edges in program.gates:
+        in_lits = tuple(slot_lit[e >> 1] ^ (e & 1) for e in edges)
+        slot_lit[out] = add_gate(tt, in_lits)
+    return [slot_lit[e >> 1] ^ (e & 1) for e in program.po_edges]
 
 
 # --------------------------------------------------------------------- #

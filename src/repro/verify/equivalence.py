@@ -68,6 +68,16 @@ EXHAUSTIVE_LIMIT = 16
 #: Exhaustive simulation runs in blocks of at most this many minterms.
 _BLOCK_BITS = 16
 
+#: Exhaustive sweeps covering at least this many total minterms are worth
+#: compiling a generated simulation kernel for (:mod:`repro.codegen`).
+#: Generation costs ~15-20us per gate while the kernel saves roughly
+#: 20us per gate per 2^20 simulated minterms over the memoized closure
+#: program, so the compile breaks even near 2^20 minterms; one power of
+#: two above that keeps a 2x margin.  Narrower one-shot checks stay on
+#: ``simulate_patterns`` (whose own tiering still promotes networks that
+#: are checked repeatedly).
+_COMPILED_MIN_MINTERMS = 1 << 21
+
 #: Width of the fail-fast random pre-filter run before any complete check.
 _PREFILTER_VECTORS = 64
 
@@ -246,14 +256,30 @@ def _input_patterns_block(num_pis: int, start: int, block_bits: int) -> List[int
     return patterns
 
 
+def _block_simulator(network, total_minterms: int):
+    """``simulate_patterns``-shaped callable, compiled when it pays off.
+
+    The decision is keyed on the *total* sweep width, not the per-block
+    width: compilation is a per-network fixed cost, so only the number of
+    minterms it amortizes over matters.
+    """
+    if total_minterms >= _COMPILED_MIN_MINTERMS:
+        compiled = getattr(network, "compiled_kernel", None)
+        if compiled is not None:
+            return compiled().simulate_auto
+    return network.simulate_patterns
+
+
 def _check_exhaustive(first, second) -> EquivalenceResult:
     num_pis = first.num_pis
     total = 1 << num_pis
     block_bits = min(total, 1 << _BLOCK_BITS)
+    simulate_first = _block_simulator(first, total)
+    simulate_second = _block_simulator(second, total)
     for start in range(0, total, block_bits):
         patterns = _input_patterns_block(num_pis, start, block_bits)
-        out_first = first.simulate_patterns(patterns, block_bits)
-        out_second = second.simulate_patterns(patterns, block_bits)
+        out_first = simulate_first(patterns, block_bits)
+        out_second = simulate_second(patterns, block_bits)
         for index, (a, b) in enumerate(zip(out_first, out_second)):
             if a != b:
                 diff = a ^ b

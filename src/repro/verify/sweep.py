@@ -55,6 +55,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..codegen.clausegen import ClauseStream
+from ..codegen.graphsim import GraphSimKernel
 from .cnf import GateGraph, encode_network, eval_gate
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 
@@ -113,10 +115,19 @@ class _Sweeper:
         for var in range(self.graph.num_vars):
             self._register(var)
 
+        #: Refuted-pair distinguishing assignments awaiting simulation.
+        #: Folding one counterexample at a time would cost a full-graph
+        #: pass plus a table rebuild per refutation; queued columns are
+        #: simulated together in one word-parallel pass (word width =
+        #: batch size) through the incrementally compiled kernel.
+        self._pending: List[List[bool]] = []
+        self._kernel = GraphSimKernel(self.graph)
+
         self.stats = {
             "sat_calls": 0,
             "merges": 0,
             "refinements": 0,
+            "batched_flushes": 0,
             "unresolved": 0,
         }
 
@@ -144,27 +155,52 @@ class _Sweeper:
         self.reps.append(var)
 
     def _learn_pattern(self) -> None:
-        """Append the solver model as a new simulation pattern and re-split.
+        """Queue the solver model as a refuting simulation pattern.
 
-        Incremental: only the new single-bit column is evaluated through
-        the gate list and shifted onto every signature — a full-width
-        re-simulation per counterexample would cost
-        O(refinements × gates × pattern_width) on refinement-heavy runs.
+        The column is *not* simulated here: patterns accumulate in
+        ``_pending`` and are folded into the signatures by
+        :meth:`flush_refinements` in one word-parallel batch.  Deferring
+        is sound because signatures are only a merge *heuristic* — every
+        merge is proved by SAT regardless of how stale the candidate
+        classes are.
         """
-        assignment = self.model_assignment()
-        for i in range(self.graph.num_pis):
-            self.pi_patterns[i] = (self.pi_patterns[i] << 1) | int(assignment[i])
-        self.num_bits += 1
+        self._pending.append(self.model_assignment())
         self.stats["refinements"] += 1
-        bit_column = [0] * self.graph.num_vars
-        for i, bit in enumerate(assignment):
-            bit_column[1 + i] = int(bit)
-        for var, tt, lits in self.graph.gates:
-            bit_column[var] = eval_gate(bit_column, tt, lits, 1)
-        values = self.values
-        for var in range(self.graph.num_vars):
-            values[var] = (values[var] << 1) | bit_column[var]
+
+    def flush_refinements(self) -> None:
+        """Fold all queued refuting patterns into the signatures at once.
+
+        One batch costs a single pass over the gate list — word-parallel
+        across the queued columns, through the incrementally compiled
+        graph kernel — and a single candidate-table rebuild, where the
+        one-at-a-time protocol paid both per refutation.  Bit order
+        matches sequential folding: the oldest queued pattern lands on the
+        highest of the new low bits, the newest on bit 0.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        self.stats["batched_flushes"] += 1
+        width = len(pending)
+        num_pis = self.graph.num_pis
+        batch_mask = (1 << width) - 1
+        columns = [0] * (1 + num_pis)
+        for shift, assignment in zip(range(width - 1, -1, -1), pending):
+            for i in range(num_pis):
+                if assignment[i]:
+                    columns[1 + i] |= 1 << shift
+        for i in range(num_pis):
+            self.pi_patterns[i] = (self.pi_patterns[i] << width) | columns[1 + i]
+        self.num_bits += width
         self.mask = (1 << self.num_bits) - 1
+
+        num_vars = self.graph.num_vars
+        columns.extend([0] * (num_vars - len(columns)))
+        self._kernel.eval_into(columns, batch_mask)
+        values = self.values
+        for var in range(num_vars):
+            values[var] = (values[var] << width) | columns[var]
         old_reps = self.reps
         self.table = {}
         self.reps = []
@@ -185,6 +221,9 @@ class _Sweeper:
 
         refine = self.stats["refinements"] < self.max_refinements
         for _ in range(_MAX_CANDIDATE_ATTEMPTS):
+            # Queued refutations re-split the classes before each lookup,
+            # so a retry never chases a bucket the last round disproved.
+            self.flush_refinements()
             sig = self.values[var]
             phase = sig & 1
             key = sig ^ (self.mask if phase else 0)
@@ -192,6 +231,11 @@ class _Sweeper:
             bucket = self.table.get(key)
             if not bucket:
                 break
+            # Scan the whole bucket rather than restarting at the first
+            # refutation: every refuted rep contributes a distinguishing
+            # pattern to the same batch, and a later rep may still prove
+            # equal (stale signatures only ever cost a SAT call, never a
+            # wrong merge).
             restart = False
             for rep_lit in bucket:
                 verdict = self._prove_pair(rep_lit, cand, refine)
@@ -202,7 +246,6 @@ class _Sweeper:
                     return rep_lit ^ phase ^ out_flip
                 if verdict == "refuted" and refine:
                     restart = True  # signatures changed: re-key and retry
-                    break
             if not restart:
                 break
             refine = self.stats["refinements"] < self.max_refinements
@@ -232,13 +275,13 @@ class _Sweeper:
 
 
 #: Worker-process snapshot installed once per worker by the pool
-#: initializer: ``(clauses, num_vars, num_pis, budget)``.
+#: initializer: ``(clause_stream, num_pis, budget)``.
 _FINAL_STATE = None
 
 
-def _install_final_state(clauses, num_vars, num_pis, budget) -> None:
+def _install_final_state(stream, num_pis, budget) -> None:
     global _FINAL_STATE
-    _FINAL_STATE = (clauses, num_vars, num_pis, budget)
+    _FINAL_STATE = (stream, num_pis, budget)
 
 
 def _final_pair(pair):
@@ -246,16 +289,18 @@ def _final_pair(pair):
 
     A fresh solver per pair (rather than one shared per worker) is what
     makes the verdict independent of which pairs share a worker — the
-    determinism contract of :mod:`repro.parallel` requires it.  Returns
-    ``(status_a, status_b, counterexample_or_None, sat_calls,
+    determinism contract of :mod:`repro.parallel` requires it.  The
+    clause database is rebuilt from the generated
+    :class:`~repro.codegen.ClauseStream` snapshot through the solver's
+    unchecked bulk loader, so the per-pair rebuild skips the per-literal
+    clause re-validation the graph already performed at emission time.
+    Returns ``(status_a, status_b, counterexample_or_None, sat_calls,
     conflicts)``.
     """
-    clauses, num_vars, num_pis, budget = _FINAL_STATE
+    stream, num_pis, budget = _FINAL_STATE
     a, b = pair
     solver = SatSolver()
-    solver.ensure_vars(num_vars)
-    for clause in clauses:
-        solver.add_clause(clause)
+    stream.load_into(solver)
     res_a = solver.solve([a, b ^ 1], max_conflicts=budget)
     if res_a == SAT:
         model = [solver.model_value((1 + i) << 1) for i in range(num_pis)]
@@ -309,6 +354,9 @@ def sat_sweep(
     graph = sweeper.graph
     pos_first = encode_network(graph, first, add_gate=sweeper.add_gate)
     pos_second = encode_network(graph, second, add_gate=sweeper.add_gate)
+    # Patterns queued by the last candidate lookups must reach the
+    # signatures before the simulated-mismatch scan below can trust them.
+    sweeper.flush_refinements()
 
     stats = sweeper.stats
     stats["gates"] = len(graph.gates)
@@ -354,8 +402,7 @@ def sat_sweep(
                 warmup=None,
                 initializer=_install_final_state,
                 initargs=(
-                    list(graph.clauses),
-                    graph.num_vars,
+                    ClauseStream.from_graph(graph),
                     graph.num_pis,
                     output_conflict_budget,
                 ),

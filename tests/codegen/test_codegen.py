@@ -1,0 +1,374 @@
+"""Differential property suite for the per-network code generators.
+
+The contract under test (see the :mod:`repro.codegen` package docstring):
+for *any* network state — including after arbitrary in-place mutation
+sequences, ``assign_from`` resets and pickle round-trips — the generated
+simulation kernel is bit-identical to the interpreted per-gate oracle,
+and the generated Tseitin clause stream is clause-for-clause identical to
+a direct per-gate ``gate_truth_table`` encode of the same network.  The
+mutation sequences mirror ``tests/network/test_cuts_incremental.py``; the
+staleness tests additionally pin regeneration against every mutation
+notification class the kernel emits (retarget, node death, reset).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.codegen import (
+    ClauseStream,
+    GraphSimKernel,
+    clause_stream,
+    compile_network_kernel,
+    has_numpy,
+    network_ir,
+)
+from repro.core import mutate_network
+from repro.core.signal import make_signal, negate
+from repro.mapping import default_library, map_mig
+from repro.verify.cnf import FALSE_LIT, GateGraph, encode_network, eval_gate
+from repro.verify.sat import SAT, UNSAT, SatSolver
+
+
+def _random_patterns(rng, num_pis, num_bits):
+    return [rng.getrandbits(num_bits) for _ in range(num_pis)]
+
+
+def _oracle_simulation(net, pi_patterns, num_bits):
+    """Uncompiled reference: drive ``_eval_gate`` over the topology."""
+    mask = (1 << num_bits) - 1
+    values = [0] * len(net._fanins)
+    for node, pattern in zip(net._pis, pi_patterns):
+        values[node] = pattern & mask
+    for node in net._topology():
+        values[node] = net._eval_gate(values, net._fanins[node], mask)
+    return [net._edge_value(values, po, mask) for po in net._pos]
+
+
+def _oracle_encode(graph, net):
+    """Per-gate ``gate_truth_table`` Tseitin encode (the pre-IR walk)."""
+    node_lit = {0: FALSE_LIT}
+    for index, node in enumerate(net.pi_nodes()):
+        node_lit[node] = graph.pi_lit(index)
+    for node in net.topological_order():
+        in_lits = tuple(node_lit[f >> 1] ^ (f & 1) for f in net.fanins(node))
+        node_lit[node] = graph.add_gate(net.gate_truth_table(node), in_lits)
+    return [node_lit[po >> 1] ^ (po & 1) for po in net.po_signals()]
+
+
+def _assert_generated_matches(net, rng, num_bits=192):
+    """Kernel (both backends) == oracle; clause stream == oracle encode."""
+    patterns = _random_patterns(rng, net.num_pis, num_bits)
+    expected = _oracle_simulation(net, patterns, num_bits)
+    kernel = net.compiled_kernel()
+    assert kernel.simulate(patterns, num_bits) == expected
+    if has_numpy():
+        assert kernel.simulate_blocks(patterns, num_bits) == expected
+    # The public entry point (whatever tier it picked) must agree too.
+    assert net.simulate_patterns(patterns, num_bits) == expected
+    assert net.simulate_patterns_interpreted(patterns, num_bits) == expected
+
+    oracle_graph = GateGraph(net.num_pis)
+    oracle_pos = _oracle_encode(oracle_graph, net)
+    stream = clause_stream(net)
+    assert stream.clause_lists() == oracle_graph.clauses
+    assert stream.po_lits == tuple(oracle_pos)
+    assert stream.num_vars == oracle_graph.num_vars
+
+
+class TestDifferentialAgainstOracle:
+    @pytest.mark.parametrize("kind", ["mig", "aig"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mutation_sequences(self, network_forge, kind, seed):
+        rng = random.Random(seed)
+        net = network_forge(
+            kind=kind, gate_mix="mixed", num_pis=7, num_gates=60, num_pos=5,
+            seed=seed,
+        )
+        _assert_generated_matches(net, rng)
+        for step in range(12):
+            mutate_network(net, seed=1000 * seed + step, in_place=True)
+            _assert_generated_matches(net, rng)
+
+    @pytest.mark.parametrize("kind", ["mig", "aig"])
+    def test_assign_from(self, network_forge, kind):
+        rng = random.Random(7)
+        net = network_forge(kind=kind, num_pis=6, num_gates=40, num_pos=3, seed=5)
+        other = network_forge(kind=kind, num_pis=6, num_gates=35, num_pos=3, seed=6)
+        _assert_generated_matches(net, rng)
+        net.assign_from(other)
+        _assert_generated_matches(net, rng)
+        assert net.truth_tables() == other.truth_tables()
+
+    @pytest.mark.parametrize("kind", ["mig", "aig"])
+    def test_pickle_round_trip(self, network_forge, kind):
+        rng = random.Random(11)
+        net = network_forge(
+            kind=kind, gate_mix="mixed", num_pis=7, num_gates=50, num_pos=4, seed=9
+        )
+        patterns = _random_patterns(rng, net.num_pis, 128)
+        expected = net.simulate_patterns(patterns, 128)
+        net.compiled_kernel()
+        clause_stream(net)
+        clone = pickle.loads(pickle.dumps(net))
+        # Generated artifacts never cross the pickle boundary.
+        for key in ("_codegen_kernel", "_codegen_ir", "_codegen_clauses",
+                    "_sim_seen_serial"):
+            assert key not in clone.__dict__, key
+        assert clone.simulate_patterns(patterns, 128) == expected
+        _assert_generated_matches(clone, rng)
+
+    def test_uniform_gate_tt_matches_gate_truth_table(self, network_forge):
+        # The per-class constant must be exactly what the projection-driven
+        # per-node derivation reports, or the IR fast path silently lies.
+        for kind, seed in (("mig", 3), ("aig", 4)):
+            net = network_forge(kind=kind, gate_mix="maj" if kind == "mig" else "aoig",
+                                num_pis=6, num_gates=30, seed=seed)
+            assert net.UNIFORM_GATE_TT is not None
+            for node in net.topological_order():
+                if len(net.fanins(node)) == (3 if kind == "mig" else 2):
+                    assert net.gate_truth_table(node) == net.UNIFORM_GATE_TT
+
+
+class TestAdaptiveTiering:
+    def test_second_call_promotes_to_generated_kernel(self, network_forge):
+        net = network_forge(kind="mig", num_pis=6, num_gates=40, seed=4)
+        patterns = _random_patterns(random.Random(1), net.num_pis, 64)
+        first = net.simulate_patterns(patterns, 64)
+        assert "_codegen_kernel" not in net.__dict__  # tier 1: closure program
+        second = net.simulate_patterns(patterns, 64)
+        assert first == second
+        kernel = net.__dict__.get("_codegen_kernel")
+        assert kernel is not None  # tier 2: generated kernel
+        net.simulate_patterns(patterns, 64)
+        assert net.__dict__["_codegen_kernel"] is kernel  # reused, not rebuilt
+
+    def test_mutation_demotes_then_repromotes(self, network_forge):
+        net = network_forge(kind="aig", gate_mix="mixed", num_pis=6,
+                            num_gates=40, seed=8)
+        patterns = _random_patterns(random.Random(2), net.num_pis, 64)
+        net.simulate_patterns(patterns, 64)
+        net.simulate_patterns(patterns, 64)
+        stale = net.__dict__["_codegen_kernel"]
+        mutate_network(net, seed=13, in_place=True)
+        expected = _oracle_simulation(net, patterns, 64)
+        assert net.simulate_patterns(patterns, 64) == expected
+        # First post-mutation call must not have run the stale kernel.
+        assert net.__dict__.get("_codegen_kernel_serial") != net._mutation_serial \
+            or net.__dict__["_codegen_kernel"] is not stale
+        assert net.simulate_patterns(patterns, 64) == expected
+        assert net.__dict__["_codegen_kernel"] is not stale
+
+
+class TestStalenessPerEventClass:
+    """Regeneration across every mutation-notification event class.
+
+    The generators key on ``_mutation_serial`` rather than subscribing to
+    the listener protocol, so the property to pin is: each event class's
+    underlying mutation moves the serial, and the regenerated artifacts
+    match the oracle on the new structure.
+    """
+
+    def _charge(self, net, rng):
+        net.compiled_kernel()
+        clause_stream(net)
+        return (net.__dict__["_codegen_kernel"], net.__dict__["_codegen_clauses"])
+
+    def _assert_regenerated(self, net, rng, old):
+        _assert_generated_matches(net, rng)
+        assert net.__dict__["_codegen_kernel"] is not old[0]
+        assert net.__dict__["_codegen_clauses"] is not old[1]
+
+    def test_retarget_event(self, network_forge):
+        rng = random.Random(31)
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=7,
+                            num_gates=60, num_pos=4, seed=31)
+        old = self._charge(net, rng)
+        serial = net._mutation_serial
+        # A substitution retargets every fanout of the old node in place
+        # (the ``network_retargeted`` event class).
+        gates = list(net.topological_order())
+        target = gates[len(gates) // 2]
+        assert net.substitute(target, make_signal(net.pi_nodes()[0]))
+        assert net._mutation_serial != serial
+        self._assert_regenerated(net, rng, old)
+
+    def test_node_death_event(self, network_forge):
+        rng = random.Random(32)
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=7,
+                            num_gates=60, num_pos=2, seed=32)
+        old = self._charge(net, rng)
+        serial = net._mutation_serial
+        # Redirecting a PO into the interior and cleaning up kills the
+        # now-unreferenced cone (the ``network_node_died`` event class).
+        gates = list(net.topological_order())
+        net.set_po(0, make_signal(gates[len(gates) // 3]))
+        net.cleanup()
+        assert net._mutation_serial != serial
+        self._assert_regenerated(net, rng, old)
+
+    def test_reset_event(self, network_forge):
+        rng = random.Random(33)
+        net = network_forge(kind="mig", num_pis=6, num_gates=40, num_pos=3, seed=33)
+        other = network_forge(kind="mig", num_pis=6, num_gates=30, num_pos=3, seed=34)
+        old = self._charge(net, rng)
+        serial = net._mutation_serial
+        net.assign_from(other)  # the ``network_reset`` event class
+        assert net._mutation_serial != serial
+        self._assert_regenerated(net, rng, old)
+
+    def test_po_edit_event(self, network_forge):
+        rng = random.Random(34)
+        net = network_forge(kind="aig", gate_mix="mixed", num_pis=6,
+                            num_gates=40, num_pos=3, seed=35)
+        old = self._charge(net, rng)
+        serial = net._mutation_serial
+        net.set_po(0, negate(net.po_signals()[0]))
+        assert net._mutation_serial != serial
+        self._assert_regenerated(net, rng, old)
+
+
+class TestMappedNetlist:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_generated_matches_interpreted(self, seed):
+        from repro.core import random_mig
+
+        rng = random.Random(seed)
+        mig = random_mig(7, 40, num_pos=5, seed=seed)
+        netlist = map_mig(mig, default_library())
+        patterns = _random_patterns(rng, netlist.num_pis, 192)
+        expected = netlist.simulate_patterns_interpreted(patterns, 192)
+        assert netlist.simulate_patterns(patterns, 192) == expected
+        if has_numpy():
+            assert netlist.compiled_kernel().simulate_blocks(patterns, 192) == expected
+        # Growing the netlist invalidates the shape-keyed kernel.
+        kernel = netlist.__dict__["_codegen_kernel"]
+        out = netlist.instances[-1].output
+        netlist.add_cell("INV", "cg_extra", [out])
+        netlist.add_po("cg_extra", "cg_extra")
+        expected = netlist.simulate_patterns_interpreted(patterns, 192)
+        assert netlist.simulate_patterns(patterns, 192) == expected
+        assert netlist.__dict__["_codegen_kernel"] is not kernel
+
+    def test_pickle_strips_kernel(self):
+        from repro.core import random_mig
+
+        netlist = map_mig(random_mig(6, 30, num_pos=3, seed=9), default_library())
+        patterns = _random_patterns(random.Random(3), netlist.num_pis, 64)
+        expected = netlist.simulate_patterns(patterns, 64)
+        clone = pickle.loads(pickle.dumps(netlist))
+        assert "_codegen_kernel" not in clone.__dict__
+        assert "_codegen_ir" not in clone.__dict__
+        assert clone.simulate_patterns(patterns, 64) == expected
+
+
+class TestClauseStream:
+    @pytest.mark.parametrize("kind", ["mig", "aig"])
+    def test_pickle_round_trip(self, network_forge, kind):
+        net = network_forge(kind=kind, gate_mix="mixed", num_pis=7,
+                            num_gates=50, num_pos=4, seed=13)
+        stream = clause_stream(net)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.clause_lists() == stream.clause_lists()
+        assert clone.po_lits == stream.po_lits
+        assert clone.num_vars == stream.num_vars
+        assert clone.num_pis == stream.num_pis
+
+    def test_unchecked_load_agrees_with_checked(self, network_forge):
+        """Solver verdicts from the bulk loader == per-clause add_clause."""
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=7,
+                            num_gates=60, num_pos=4, seed=17)
+        stream = clause_stream(net)
+        for po_lit in stream.po_lits:
+            fast, slow = SatSolver(), SatSolver()
+            assert stream.load_into(fast)
+            slow.ensure_vars(stream.num_vars)
+            for clause in stream.clauses():
+                slow.add_clause(clause)
+            for assumption in (po_lit, po_lit ^ 1):
+                res_fast = fast.solve([assumption])
+                res_slow = slow.solve([assumption])
+                assert res_fast == res_slow
+                if res_fast == SAT:
+                    pis = [(1 + i) << 1 for i in range(stream.num_pis)]
+                    model = [fast.model_value(p) for p in pis]
+                    # The model must replay on the network itself: assuming
+                    # the PO literal forces the output high, its negation low.
+                    outputs = net.simulate([bool(b) for b in model])
+                    index = stream.po_lits.index(po_lit)
+                    assert outputs[index] == (assumption == po_lit)
+
+    def test_serial_cache_hits_and_invalidates(self, network_forge):
+        net = network_forge(kind="aig", gate_mix="mixed", num_pis=6,
+                            num_gates=40, seed=19)
+        stream = clause_stream(net)
+        assert clause_stream(net) is stream
+        mutate_network(net, seed=20, in_place=True)
+        fresh = clause_stream(net)
+        assert fresh is not stream
+        oracle = GateGraph(net.num_pis)
+        _oracle_encode(oracle, net)
+        assert fresh.clause_lists() == oracle.clauses
+
+
+class TestGraphSimKernel:
+    def test_matches_eval_gate_while_graph_grows(self, network_forge):
+        rng = random.Random(23)
+        graph = GateGraph(6)
+        kernel = GraphSimKernel(graph, chunk_gates=8)
+        mask = (1 << 64) - 1
+        pi_patterns = [rng.getrandbits(64) for _ in range(6)]
+        for round_index in range(4):
+            net = network_forge(kind="mig" if round_index % 2 else "aig",
+                                gate_mix="mixed", num_pis=6, num_gates=30,
+                                seed=40 + round_index)
+            encode_network(graph, net)
+            values = [0] * graph.num_vars
+            oracle = [0] * graph.num_vars
+            for i in range(6):
+                values[1 + i] = oracle[1 + i] = pi_patterns[i] & mask
+            kernel.eval_into(values, mask)
+            for var, tt, lits in graph.gates:
+                oracle[var] = eval_gate(oracle, tt, lits, mask)
+            assert values == oracle, f"divergence after growth round {round_index}"
+
+
+class TestEquivalenceIntegration:
+    """``_check_exhaustive`` engages compiled kernels by total sweep width."""
+
+    def test_compiled_sweep_matches_interpreted_verdicts(
+        self, network_forge, monkeypatch
+    ):
+        from repro.verify import equivalence
+        from repro.verify.equivalence import check_equivalence
+
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=8,
+                            num_gates=60, seed=77)
+        pairs = [(net, net.copy()), (net, mutate_network(net, seed=78)[0])]
+        for first, second in pairs:
+            monkeypatch.setattr(equivalence, "_COMPILED_MIN_MINTERMS", 1 << 30)
+            interpreted = check_equivalence(first, second, method="exhaustive")
+            monkeypatch.setattr(equivalence, "_COMPILED_MIN_MINTERMS", 1)
+            for target in (first, second):
+                target.__dict__.pop("_codegen_kernel", None)
+                target.__dict__.pop("_codegen_kernel_serial", None)
+            compiled = check_equivalence(first, second, method="exhaustive")
+            assert "_codegen_kernel" in first.__dict__, (
+                "compiled tier did not engage above the minterm threshold"
+            )
+            assert compiled.equivalent == interpreted.equivalent
+            assert compiled.counterexample == interpreted.counterexample
+            assert compiled.failing_output == interpreted.failing_output
+
+    def test_narrow_one_shot_does_not_compile(self, network_forge):
+        from repro.verify.equivalence import check_equivalence
+
+        net = network_forge(kind="mig", gate_mix="mixed", num_pis=8,
+                            num_gates=40, seed=79)
+        twin = net.copy()
+        result = check_equivalence(net, twin, method="exhaustive")
+        assert result.equivalent
+        # A one-shot narrow sweep must not pay the per-network compile.
+        assert "_codegen_kernel" not in net.__dict__
+        assert "_codegen_kernel" not in twin.__dict__
