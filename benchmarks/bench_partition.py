@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Perf lane for partition-parallel optimization inside one circuit (ISSUE 7).
+
+Two lanes over the scalable generator families of
+:mod:`repro.bench_circuits.generator`, exercising
+:func:`repro.flows.optimize_large` — windowed decomposition, per-window
+optimization in worker processes, SAT self-certification of every
+window, and substitution-based stitching:
+
+1. **Windowed rewrite at scale** (the budget lane): the 10^5-gate
+   ``rand_3500`` preset (smoke: the 1.3*10^4-gate ``rand_400``),
+   optimized at 1 worker (the serial windowed baseline) and at the
+   target worker count, plus every intermediate power of two.  The
+   stitched results must be **bit-identical at every worker count** —
+   same final size, depth, and node-level structural fingerprint (the
+   window extension of the :mod:`repro.parallel` determinism contract)
+   — and every window must carry an ``equivalent`` certification
+   verdict.  Target: **>= 2x wall-clock at 4 workers** — asserted when
+   the host actually has that many CPUs (``--force-assert`` overrides),
+   reported otherwise; determinism is asserted unconditionally.
+2. **Million-gate headline** (full mode only): the 10^6-gate
+   ``rand_42000`` preset through the same API at the target worker
+   count — no serial rerun (the speedup claim lives in lane 1); the
+   record is the absolute wall clock, gate throughput, window count and
+   certification coverage at the scale the ROADMAP names.
+
+Results land in ``BENCH_partition.json`` (override with ``--json`` /
+``REPRO_BENCH_PARTITION_JSON``) for the CI artifact upload::
+
+    PYTHONPATH=src python benchmarks/bench_partition.py [--smoke] [--workers N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench_circuits import build_scalable
+from repro.flows import optimize_large
+from repro.parallel import warm_worker
+from repro.parallel.corpus import structural_fingerprint
+
+#: Wall-clock floors: the full lane must clear the ISSUE target at 4
+#: workers; the smoke lane runs at 2 workers on noisy CI runners, so its
+#: floor only guards against the parallel path regressing to ~1x.
+FULL_TARGET = 2.0
+SMOKE_FLOOR = 1.2
+
+
+def _summarize(result) -> dict:
+    details = result.details
+    certified = [
+        record["certified"]["equivalent"]
+        for record in details.get("per_window", [])
+        if "certified" in record
+    ]
+    assert certified and all(certified), (
+        f"{details.get('certified_windows', 0)}/{details['windows']} windows "
+        "certified equivalent — every window must carry a proof"
+    )
+    return {
+        "workers": result.workers,
+        "parallel_pool": result.parallel,
+        "initial_size": result.initial_size,
+        "final_size": result.final_size,
+        "initial_depth": result.initial_depth,
+        "final_depth": result.final_depth,
+        "windows": details["windows"],
+        "improved_windows": details["improved_windows"],
+        "frontier_pins": details["frontier_pins"],
+        "window_gain": details["window_gain"],
+        "certified_windows": details["certified_windows"],
+        "certified_methods": details["certified_methods"],
+        "stitch": details["stitch"],
+        "time_s": round(result.runtime_s, 3),
+        "optimize_wall_s": details["optimize_wall_s"],
+    }
+
+
+def bench_windowed_rewrite(name, workers, max_window_gates):
+    """Lane 1: serial vs partition-parallel windowed rewrite, one circuit."""
+    network = build_scalable(name)
+    worker_counts = [1]
+    count = 2
+    while count <= workers:
+        worker_counts.append(count)
+        count *= 2
+    if workers not in worker_counts:
+        worker_counts.append(workers)
+
+    runs = {}
+    fingerprints = {}
+    for count in worker_counts:
+        result = optimize_large(
+            network, workers=count, max_window_gates=max_window_gates
+        )
+        runs[count] = _summarize(result)
+        fingerprints[count] = structural_fingerprint(result.network)
+
+    baseline = fingerprints[worker_counts[0]]
+    for count, fingerprint in fingerprints.items():
+        assert fingerprint == baseline, (
+            f"stitched network diverged at {count} workers: the window "
+            "determinism contract is broken"
+        )
+
+    serial = runs[1]
+    fastest = runs[workers]
+    return {
+        "benchmark": name,
+        "gates": serial["initial_size"],
+        "max_window_gates": max_window_gates,
+        "worker_counts": worker_counts,
+        "runs": {str(count): run for count, run in runs.items()},
+        "time_serial_s": serial["time_s"],
+        "time_parallel_s": fastest["time_s"],
+        "speedup": round(serial["time_s"] / fastest["time_s"], 2),
+    }
+
+
+def bench_million_gate(name, workers, max_window_gates):
+    """Lane 2: the million-gate headline — one run at the target workers."""
+    t0 = time.perf_counter()
+    network = build_scalable(name)
+    build_s = time.perf_counter() - t0
+    result = optimize_large(
+        network, workers=workers, max_window_gates=max_window_gates
+    )
+    record = _summarize(result)
+    record.update(
+        {
+            "benchmark": name,
+            "build_s": round(build_s, 3),
+            "gates_per_s": int(record["initial_size"] / result.runtime_s),
+        }
+    )
+    return record
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced CI workload (smaller circuit, relaxed floor, no headline)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count of the parallel lanes (default: 2 smoke, 4 full)",
+    )
+    parser.add_argument(
+        "--max-window-gates",
+        type=int,
+        default=400,
+        help="partition bound forwarded to optimize_large",
+    )
+    parser.add_argument(
+        "--force-assert",
+        action="store_true",
+        help="assert the speedup floor even on hosts with fewer CPUs than workers",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.environ.get("REPRO_BENCH_PARTITION_JSON", "BENCH_partition.json"),
+        help="write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+    workers = args.workers if args.workers is not None else (2 if args.smoke else 4)
+    cpus = os.cpu_count() or 1
+
+    warm_worker()  # serial and parallel lanes start equally hot
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "workers": workers,
+        "cpu_count": cpus,
+    }
+
+    # --- lane 1: windowed rewrite at scale (the budget lane) ----------- #
+    lane_name = "rand_400" if args.smoke else "rand_3500"
+    record = bench_windowed_rewrite(lane_name, workers, args.max_window_gates)
+    report["windowed_rewrite"] = record
+    serial = record["runs"]["1"]
+    print(
+        f"windowed rewrite ({lane_name}, {record['gates']} gates, "
+        f"{serial['windows']} windows, {serial['certified_windows']} certified): "
+        f"size {serial['initial_size']} -> {serial['final_size']}, serial "
+        f"{record['time_serial_s']}s -> {workers} workers "
+        f"{record['time_parallel_s']}s ({record['speedup']}x, stitched "
+        f"networks bit-identical at {record['worker_counts']} workers)",
+        flush=True,
+    )
+
+    # --- lane 2: the million-gate headline (full mode only) ------------ #
+    if not args.smoke:
+        record = bench_million_gate("rand_42000", workers, args.max_window_gates)
+        report["million_gate"] = record
+        print(
+            f"million-gate headline ({record['benchmark']}, "
+            f"{record['initial_size']} gates, {record['windows']} windows): "
+            f"size {record['initial_size']} -> {record['final_size']} in "
+            f"{record['time_s']}s at {workers} workers "
+            f"({record['gates_per_s']} gates/s, {record['certified_windows']} "
+            f"windows certified)",
+            flush=True,
+        )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+
+    # --- budget assertion ---------------------------------------------- #
+    # Determinism and certification were already asserted in every lane.
+    # The wall-clock floor only binds where the hardware can express it: a
+    # 4-worker pool on a 1-CPU container time-slices instead of
+    # parallelizing, which measures the OS scheduler, not this layer.
+    floor = SMOKE_FLOOR if args.smoke else FULL_TARGET
+    speedup = report["windowed_rewrite"]["speedup"]
+    if cpus >= workers or args.force_assert:
+        assert speedup >= floor, (
+            f"windowed rewrite speedup regressed: {speedup}x < {floor}x floor "
+            f"at {workers} workers"
+        )
+        print(f"budget ok: {speedup}x >= {floor}x at {workers} workers")
+    else:
+        print(
+            f"budget floor SKIPPED: host has {cpus} CPU(s) < {workers} workers "
+            f"(measured {speedup}x; determinism and certification asserted)"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,5 +1,17 @@
-"""Synthetic MCNC-like benchmark circuit generators (see DESIGN.md)."""
+"""Synthetic MCNC-like benchmark circuit generators (see DESIGN.md).
 
+:mod:`~repro.bench_circuits.suite` holds the Table I suite;
+:mod:`~repro.bench_circuits.generator` holds the scalable 10^5–10^6 node
+presets used by the partition-parallel benchmark lanes.  Both resolve
+through :func:`build_benchmark`.
+"""
+
+from .generator import (
+    SCALABLE_BENCHMARKS,
+    ScalableSpec,
+    build_scalable,
+    scalable_names,
+)
 from .suite import (
     BENCHMARKS,
     BenchmarkSpec,
@@ -11,7 +23,11 @@ from .suite import (
 __all__ = [
     "BENCHMARKS",
     "BenchmarkSpec",
+    "SCALABLE_BENCHMARKS",
+    "ScalableSpec",
     "benchmark_names",
     "build_benchmark",
     "build_compression_circuit",
+    "build_scalable",
+    "scalable_names",
 ]

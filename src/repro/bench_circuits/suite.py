@@ -279,12 +279,22 @@ def benchmark_names() -> List[str]:
 
 
 def build_benchmark(name: str, network_cls: Type = Mig):
-    """Instantiate benchmark ``name`` as a ``network_cls`` network."""
+    """Instantiate benchmark ``name`` as a ``network_cls`` network.
+
+    Resolves Table I names first, then the scalable presets of
+    :mod:`repro.bench_circuits.generator` (``benchmark_names()`` stays
+    Table-I-only so corpus sweeps keep their scale).
+    """
     try:
         spec = BENCHMARKS[name]
     except KeyError as exc:
+        from .generator import SCALABLE_BENCHMARKS, build_scalable
+
+        if name in SCALABLE_BENCHMARKS:
+            return build_scalable(name, network_cls)
         raise KeyError(
-            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+            f"unknown benchmark {name!r}; available: "
+            f"{', '.join(BENCHMARKS)}, {', '.join(SCALABLE_BENCHMARKS)}"
         ) from exc
     net = network_cls()
     net.name = spec.name

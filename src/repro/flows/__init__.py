@@ -27,8 +27,16 @@ from .engine import (
     SizeOpt,
     run_rebuild_chain,
 )
-from .batch import BatchItem, BatchReport, format_batch_report, optimize_many
+from .batch import (
+    BatchItem,
+    BatchReport,
+    LargeResult,
+    format_batch_report,
+    optimize_large,
+    optimize_many,
+)
 from .mighty import MightyResult, mighty_optimize, mighty_pipeline
+from .partitioned import PartitionedRewrite, WindowVerificationError, partitioned_rewrite
 from .optimize import (
     OptimizationComparison,
     compare_optimization,
@@ -85,6 +93,12 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "format_batch_report",
+    # partition-parallel single-circuit API
+    "optimize_large",
+    "LargeResult",
+    "PartitionedRewrite",
+    "WindowVerificationError",
+    "partitioned_rewrite",
     # optimization experiment
     "compare_optimization",
     "run_optimization_experiment",

@@ -28,6 +28,7 @@ Example
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -35,7 +36,14 @@ from typing import Dict, List, Optional, Sequence
 from ..parallel.executor import ParallelReport, parallel_map
 from .engine import PassMetrics
 
-__all__ = ["BatchItem", "BatchReport", "optimize_many", "format_batch_report"]
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "LargeResult",
+    "optimize_many",
+    "optimize_large",
+    "format_batch_report",
+]
 
 #: Flows understood by :func:`optimize_many`; "auto" picks by network type.
 _FLOWS = ("auto", "mighty", "resyn2")
@@ -247,6 +255,118 @@ def optimize_many(
         wall_s=time.perf_counter() - start,
         parallel=execution.parallel,
         execution=execution,
+    )
+
+
+@dataclass
+class LargeResult:
+    """Outcome of one :func:`optimize_large` run.
+
+    ``network`` is the optimized (stitched) network — the input object is
+    untouched; ``details`` is the :class:`~repro.flows.partitioned
+    .PartitionedRewrite` detail record (windows, frontier pins,
+    per-window gains and certification verdicts); ``pass_metrics``
+    carries the flow engine's measurement of the pass.
+    """
+
+    name: str
+    workers: int
+    parallel: bool
+    initial_size: int
+    initial_depth: int
+    final_size: int
+    final_depth: int
+    runtime_s: float
+    details: Dict[str, object] = field(default_factory=dict)
+    pass_metrics: List[PassMetrics] = field(default_factory=list)
+    network: object = None
+
+    @property
+    def windows(self) -> int:
+        return int(self.details.get("windows", 0))
+
+    def as_dict(self) -> Dict[str, object]:
+        record = {
+            "name": self.name,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "initial_size": self.initial_size,
+            "initial_depth": self.initial_depth,
+            "final_size": self.final_size,
+            "final_depth": self.final_depth,
+            "runtime_s": round(self.runtime_s, 6),
+        }
+        record.update(
+            {
+                key: self.details.get(key)
+                for key in (
+                    "windows",
+                    "frontier_pins",
+                    "improved_windows",
+                    "window_gain",
+                    "certified_windows",
+                    "stitch",
+                )
+                if key in self.details
+            }
+        )
+        return record
+
+
+def optimize_large(
+    network,
+    workers: Optional[int] = None,
+    max_window_gates: int = 400,
+    strategy: str = "topo",
+    certify: bool = True,
+    flow: str = "auto",
+    flow_kwargs: Optional[dict] = None,
+) -> LargeResult:
+    """Optimize one large network by partition-parallel windowed rewriting.
+
+    The single-circuit counterpart of :func:`optimize_many`: the network
+    is decomposed into bounded windows, windows are optimized in worker
+    processes (with per-window SAT certification when ``certify``), and
+    the results are stitched back serially — see
+    :mod:`repro.flows.partitioned` for the determinism contract (results
+    are bit-identical at any worker count for a fixed partition spec).
+
+    The input network is never mutated: it crosses into a private copy
+    by pickling (preserving node ids exactly, like the worker boundary
+    does), so ``result.network`` at ``workers=1`` is bit-identical to
+    the same call at ``workers=4``.
+    """
+    from .engine import Pipeline
+    from .partitioned import PartitionedRewrite
+
+    work = pickle.loads(pickle.dumps(network))
+    pipeline = Pipeline(
+        [
+            PartitionedRewrite(
+                max_window_gates=max_window_gates,
+                strategy=strategy,
+                workers=workers,
+                certify=certify,
+                flow=flow,
+                flow_kwargs=flow_kwargs,
+            )
+        ],
+        name="optimize_large",
+    )
+    result = pipeline.run(work)
+    details = result.passes[0].details
+    return LargeResult(
+        name=getattr(network, "name", "network"),
+        workers=int(details.get("workers", 1)),
+        parallel=bool(details.get("parallel", False)),
+        initial_size=result.initial_size,
+        initial_depth=result.initial_depth,
+        final_size=result.final_size,
+        final_depth=result.final_depth,
+        runtime_s=result.runtime_s,
+        details=details,
+        pass_metrics=result.passes,
+        network=work,
     )
 
 

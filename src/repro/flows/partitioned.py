@@ -1,0 +1,264 @@
+"""Partition-parallel rewriting of one large network (windowed flows).
+
+The process-parallel layer of PR 5 shards *across* circuits; this module
+parallelizes *inside* one circuit: the network is decomposed into
+bounded windows (:mod:`repro.parallel.partition`), each window is
+extracted as a standalone sub-network and optimized in a worker process
+(the MIGhty pipeline for MIGs, the ``resyn2`` script for AIGs), verified
+against its pre-optimization self with the SAT-backed equivalence
+dispatch — window miters stay small even when the network is not — and
+stitched back through the kernel's substitution machinery
+(:mod:`repro.parallel.window`).
+
+Determinism (the window extension of the :mod:`repro.parallel`
+contract): the partition is a pure function of the structure and the
+spec, each window job is a pure function of its extracted sub-network,
+and stitching is serial in window order — so the final network is
+bit-identical (node ids, fanins, POs, structural fingerprint) at any
+worker count.  ``tests/parallel/test_partition.py`` asserts this at 1,
+2 and 4 workers; ``benchmarks/bench_partition.py`` asserts it at scale
+together with the wall-clock floor.
+
+:class:`PartitionedRewrite` is the flow-engine pass (per-window gains,
+frontier pin counts and certification verdicts land in
+``PassMetrics.details``); :func:`repro.flows.batch.optimize_large` is
+the corresponding top-level API.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core.signal import make_signal
+from ..parallel.executor import parallel_map
+from ..parallel.partition import PartitionSpec, partition_network
+from ..parallel.window import StitchStats, extract_window, release_pins, stitch_window
+from .engine import Pass
+
+__all__ = ["PartitionedRewrite", "WindowVerificationError", "partitioned_rewrite"]
+
+#: Default per-window flow options for MIG windows: one light round —
+#: windows are small, and the cross-window sweep is where the wall-clock
+#: goes, so per-window effort trades off against whole-network latency.
+_DEFAULT_MIG_WINDOW_KWARGS = {"rounds": 1, "depth_effort": 1}
+
+
+class WindowVerificationError(AssertionError):
+    """A window optimization broke functional equivalence."""
+
+    def __init__(self, window_label: str, result) -> None:
+        self.window_label = window_label
+        self.result = result
+        super().__init__(
+            f"window {window_label} is NOT function-preserving "
+            f"(method={result.method}, output index={result.failing_output}, "
+            f"counterexample={result.counterexample})"
+        )
+
+
+def _window_flow(network, flow: str) -> str:
+    if flow != "auto":
+        return flow
+    from ..aig.aig import Aig
+
+    return "resyn2" if isinstance(network, Aig) else "mighty"
+
+
+def _window_task(item):
+    """Worker task: optimize (and certify) one extracted window.
+
+    ``item`` is ``(sub, flow, flow_kwargs, certify)``; ``sub`` is this
+    process's private unpickled copy of the extracted sub-network and is
+    kept as the certification reference.  Returns ``(optimized_or_None,
+    info)`` — ``None`` when the optimizer did not strictly improve the
+    ``(size, depth)`` order, so the stitch phase skips the window.
+    A failed certification raises (fail-fast through the pool).
+    """
+    sub, flow, flow_kwargs, certify = item
+    size_before, depth_before = sub.num_gates, sub.depth()
+    if flow == "mighty":
+        from .mighty import mighty_optimize
+
+        optimized = sub.copy()
+        mighty_optimize(optimized, **flow_kwargs)
+    elif flow == "resyn2":
+        from ..aig.resyn import resyn2
+
+        optimized, _ = resyn2(sub)
+    else:
+        raise ValueError(f"unknown window flow {flow!r}")
+    info: Dict[str, object] = {
+        "pins": sub.num_pis,
+        "outputs": sub.num_pos,
+        "size_before": size_before,
+        "size_after": optimized.num_gates,
+        "depth_before": depth_before,
+        "depth_after": optimized.depth(),
+    }
+    if certify:
+        from ..verify.equivalence import check_equivalence
+
+        result = check_equivalence(sub, optimized)
+        info["certified"] = {
+            "equivalent": result.equivalent,
+            "method": result.method,
+        }
+        if not result.equivalent:
+            raise WindowVerificationError(sub.name, result)
+    improved = (optimized.num_gates, optimized.depth()) < (size_before, depth_before)
+    info["improved"] = improved
+    return (optimized if improved else None, info)
+
+
+def partitioned_rewrite(
+    network,
+    max_window_gates: int = 400,
+    strategy: str = "topo",
+    workers: Optional[int] = None,
+    certify: bool = True,
+    flow: str = "auto",
+    flow_kwargs: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Windowed optimization of ``network`` in place; returns details.
+
+    The phases: cleanup → partition → extract → optimize windows on the
+    shard planner's pool (LPT by window gate count) → stitch serially in
+    window order → release pins and sweep.  ``certify`` proves every
+    window job function-preserving inside its worker (SAT-backed for
+    wide windows); the stitched network additionally stays
+    check-equivalence-able against the input as a whole, which the tests
+    do on forged networks.
+    """
+    start = time.perf_counter()
+    network.cleanup()
+    spec = PartitionSpec(max_window_gates=max_window_gates, strategy=strategy)
+    windows = partition_network(network, spec)
+    details: Dict[str, object] = {
+        "strategy": strategy,
+        "max_window_gates": max_window_gates,
+        "windows": len(windows),
+        "frontier_pins": sum(len(w.inputs) for w in windows),
+    }
+    if not windows:
+        details.update({"workers": 1, "parallel": False, "per_window": []})
+        return details
+
+    resolved = _window_flow(network, flow)
+    if flow_kwargs is None:
+        kwargs = dict(_DEFAULT_MIG_WINDOW_KWARGS) if resolved == "mighty" else {}
+    else:
+        if resolved == "resyn2" and flow_kwargs:
+            raise ValueError(
+                f"flow 'resyn2' takes no flow options, got {sorted(flow_kwargs)}"
+            )
+        kwargs = dict(flow_kwargs)
+
+    subs = [extract_window(network, window) for window in windows]
+    report = parallel_map(
+        _window_task,
+        [(sub, resolved, kwargs, certify) for sub in subs],
+        workers=workers,
+        costs=[window.num_gates for window in windows],
+        labels=[f"w{window.index}" for window in windows],
+    )
+
+    # Pin every window output before any substitution: a cascade from an
+    # early stitch may otherwise reclaim a later window's output while
+    # that window's frontier pins still name it.
+    upfront = StitchStats()
+    for window in windows:
+        for output in window.outputs:
+            network.pin_node(output)
+            upfront.pinned.append(output)
+
+    repl: Dict[int, int] = {}
+    all_stats: List[StitchStats] = [upfront]
+    per_window: List[Dict[str, object]] = []
+    stitch_totals = {"substituted": 0, "unchanged": 0, "skipped_cycles": 0}
+    for window, (optimized, info) in zip(windows, report.results):
+        record = {
+            "window": window.index,
+            "gates": window.num_gates,
+            "pins": len(window.inputs),
+            "gain": info["size_before"] - info["size_after"],
+            "improved": info["improved"],
+        }
+        if "certified" in info:
+            record["certified"] = info["certified"]
+        if optimized is None:
+            # Unimproved window: outputs keep their identity (pinned
+            # above, so they are still alive whatever earlier cascades
+            # did around them).
+            for output in window.outputs:
+                repl[output] = make_signal(output)
+            record["stitch"] = None
+        else:
+            stats = stitch_window(network, window, optimized, repl)
+            all_stats.append(stats)
+            for key, value in stats.as_dict().items():
+                stitch_totals[key] += value
+            record["stitch"] = stats.as_dict()
+        per_window.append(record)
+    reclaimed = release_pins(network, all_stats)
+
+    certified = [r["certified"] for r in per_window if "certified" in r]
+    methods: Dict[str, int] = {}
+    for verdict in certified:
+        methods[verdict["method"]] = methods.get(verdict["method"], 0) + 1
+    details.update(
+        {
+            "flow": resolved,
+            "flow_kwargs": kwargs,
+            "workers": report.workers,
+            "parallel": report.parallel,
+            "improved_windows": sum(1 for r in per_window if r["improved"]),
+            "window_gain": sum(r["gain"] for r in per_window if r["improved"]),
+            "stitch": stitch_totals,
+            "reclaimed": reclaimed,
+            "certified_windows": len(certified),
+            "certified_methods": methods,
+            "optimize_wall_s": round(report.wall_s, 6),
+            "wall_s": round(time.perf_counter() - start, 6),
+            "per_window": per_window,
+        }
+    )
+    return details
+
+
+class PartitionedRewrite(Pass):
+    """Flow-engine pass wrapping :func:`partitioned_rewrite`.
+
+    Per-window gains, frontier pin counts, stitch outcomes and
+    certification verdicts land in ``PassMetrics.details`` through the
+    standard :class:`~repro.flows.engine.Pipeline` metrics path.
+    """
+
+    name = "partitioned_rewrite"
+
+    def __init__(
+        self,
+        max_window_gates: int = 400,
+        strategy: str = "topo",
+        workers: Optional[int] = None,
+        certify: bool = True,
+        flow: str = "auto",
+        flow_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.max_window_gates = max_window_gates
+        self.strategy = strategy
+        self.workers = workers
+        self.certify = certify
+        self.flow = flow
+        self.flow_kwargs = flow_kwargs
+
+    def apply(self, network) -> Dict[str, object]:
+        return partitioned_rewrite(
+            network,
+            max_window_gates=self.max_window_gates,
+            strategy=self.strategy,
+            workers=self.workers,
+            certify=self.certify,
+            flow=self.flow,
+            flow_kwargs=self.flow_kwargs,
+        )

@@ -13,6 +13,14 @@ package provides the one orchestration substrate they all share:
 * :func:`~repro.parallel.executor.warm_worker` — preloads the import-once
   network kernels and the disk-cached NPN database so forked workers
   inherit a hot process image instead of re-deriving per task;
+* :mod:`repro.parallel.partition` / :mod:`repro.parallel.window` — the
+  partition-parallel layer *inside* one circuit: deterministic window
+  decomposition (bounded topological chunks or level bands with
+  frontier pins as window PIs/POs), extraction of windows as standalone
+  sub-networks, and substitution-based stitching of optimized windows
+  back into the parent (consumed by
+  :class:`repro.flows.partitioned.PartitionedRewrite` and
+  :func:`repro.flows.batch.optimize_large`);
 * :mod:`repro.parallel.corpus` (imported separately — it pulls in the
   flow stack) — the shared corpus runner of the benchmark harness plus
   the crash-safe row channel used by the sharded Table I sweeps.
@@ -29,6 +37,18 @@ never what it computes or where its result lands.  Parallelism is
 therefore a pure wall-clock win; ``benchmarks/bench_parallel.py`` and
 ``tests/parallel/`` assert the contract (same node ids, sizes, depths
 and CEC verdicts at 1, 2 and 4 workers).
+
+The contract extends to **windows inside one circuit**: for a fixed
+:class:`~repro.parallel.partition.PartitionSpec`, the decomposition is
+a pure function of the network structure, every window job is a pure
+function of its extracted sub-network, and the stitch phase replays the
+per-window results serially in window order — so the stitched network
+is bit-identical (node ids, fanins, primary outputs, structural
+fingerprint) at 1, 2 and 4 workers.  Worker count only decides *where*
+a window is optimized, never what is stitched.
+``benchmarks/bench_partition.py`` and
+``tests/parallel/test_partition.py`` assert the window contract
+end-to-end, including per-window SAT certification.
 """
 
 from .executor import (
@@ -39,12 +59,21 @@ from .executor import (
     plan_shards,
     warm_worker,
 )
+from .partition import PartitionSpec, Window, partition_network
+from .window import StitchStats, extract_window, release_pins, stitch_window
 
 __all__ = [
     "ParallelReport",
+    "PartitionSpec",
+    "StitchStats",
     "TaskRecord",
+    "Window",
     "default_workers",
+    "extract_window",
     "parallel_map",
+    "partition_network",
     "plan_shards",
+    "release_pins",
+    "stitch_window",
     "warm_worker",
 ]

@@ -1,0 +1,169 @@
+"""Window decomposition of one logic network for partition-parallel flows.
+
+A *window* is a bounded, contiguous slice of a network's PO-reachable
+gates, closed under the rule that every fanin of a window gate is either
+the constant node, another gate of the same window, or a **frontier
+pin** — a node (primary input or a gate of an *earlier* window) that the
+extracted sub-network treats as a primary input.  Window **outputs** are
+the gates referenced from outside the window (by a later window's gate
+or by a primary output); they become the sub-network's primary outputs
+and the substitution targets of the stitch phase
+(:mod:`repro.parallel.window`).
+
+Two strategies, both deterministic pure functions of ``(network
+structure, spec)``:
+
+* ``"topo"`` (default) — contiguous chunks of the PO-reachable
+  topological order.  Every chunk respects the fanin rule by
+  construction (a fanin precedes its fanout in the order) and the
+  ``max_window_gates`` bound is exact.
+* ``"levels"`` — whole level bands accumulated until the gate budget is
+  reached.  A single level never contains intra-level dependencies, so
+  an oversized level is split into budget-sized runs without breaking
+  the fanin rule.  Level bands give the extracted sub-networks a
+  "horizontal slice" shape (many shallow cones) where topo chunks give
+  "vertical" cones — useful when the optimization pass benefits from
+  seeing whole levels.
+
+Windows are ordered: gates of window ``i`` only ever reference frontier
+pins from windows ``< i`` (or primary inputs).  The stitch phase relies
+on this to resolve every pin through its replacement map before the
+window that consumes it is rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.signal import CONST_NODE, node_of
+
+__all__ = ["PartitionSpec", "Window", "partition_network"]
+
+#: Valid partitioning strategies.
+STRATEGIES = ("topo", "levels")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Parameters of one deterministic window decomposition.
+
+    The same spec on the same structure always yields the same windows —
+    the spec is part of the determinism contract of
+    :mod:`repro.parallel` (stitched results are compared across worker
+    counts *for a fixed spec*).
+    """
+
+    max_window_gates: int = 400
+    strategy: str = "topo"
+
+    def __post_init__(self) -> None:
+        if self.max_window_gates < 1:
+            raise ValueError(
+                f"max_window_gates must be >= 1, got {self.max_window_gates}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} (expected one of {STRATEGIES})"
+            )
+
+
+@dataclass
+class Window:
+    """One bounded slice of a network's PO-reachable gates.
+
+    ``gates`` is in topological order (a sub-sequence of the network's
+    order); ``inputs`` are the frontier pin nodes sorted by node id;
+    ``outputs`` are the externally referenced gates in topological
+    order.  All three hold *parent* node ids — the extraction into a
+    standalone sub-network happens in :mod:`repro.parallel.window`.
+    """
+
+    index: int
+    gates: List[int]
+    inputs: List[int] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+
+def _chunk_gates(net, spec: PartitionSpec) -> List[List[int]]:
+    """Group the PO-reachable gates into ordered, bounded chunks."""
+    order = net.topological_order()
+    bound = spec.max_window_gates
+    if spec.strategy == "topo":
+        return [order[i : i + bound] for i in range(0, len(order), bound)]
+
+    # "levels": accumulate whole level bands up to the budget; split a
+    # single oversized level into runs (safe: no intra-level fanins).
+    level = net.levels()
+    bands: Dict[int, List[int]] = {}
+    for gate in order:
+        bands.setdefault(level[gate], []).append(gate)
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    for lvl in sorted(bands):
+        band = bands[lvl]
+        if len(band) > bound:
+            if current:
+                chunks.append(current)
+                current = []
+            chunks.extend(band[i : i + bound] for i in range(0, len(band), bound))
+            continue
+        if current and len(current) + len(band) > bound:
+            chunks.append(current)
+            current = []
+        current.extend(band)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def partition_network(net, spec: PartitionSpec = PartitionSpec()) -> List[Window]:
+    """Decompose ``net`` into ordered, bounded :class:`Window` slices.
+
+    Covers exactly the PO-reachable gates (``net.topological_order()``),
+    each in exactly one window.  Dangling gates are not part of any
+    window — run ``net.cleanup()`` first when full coverage of live
+    gates matters (the :class:`~repro.flows.partitioned
+    .PartitionedRewrite` pass does).
+    """
+    chunks = _chunk_gates(net, spec)
+    window_of: Dict[int, int] = {}
+    for index, gates in enumerate(chunks):
+        for gate in gates:
+            window_of[gate] = index
+
+    windows = [Window(index=i, gates=gates) for i, gates in enumerate(chunks)]
+    input_sets: List[set] = [set() for _ in windows]
+    output_sets: List[set] = [set() for _ in windows]
+
+    for index, window in enumerate(windows):
+        inputs = input_sets[index]
+        for gate in window.gates:
+            for f in net.fanins(gate):
+                fanin = node_of(f)
+                if fanin == CONST_NODE:
+                    continue
+                home = window_of.get(fanin)
+                if home == index:
+                    continue
+                inputs.add(fanin)
+                if home is not None:
+                    # A cross-window gate reference: the fanin's home
+                    # window must expose it as an output.
+                    output_sets[home].add(fanin)
+
+    po_driven = net._po_refs
+    for index, window in enumerate(windows):
+        outputs = output_sets[index]
+        for gate in window.gates:
+            if gate in po_driven:
+                outputs.add(gate)
+        window.inputs = sorted(input_sets[index])
+        # Topological order within the window (= creation order of the
+        # chunk) keeps the extracted sub-network's PO list deterministic.
+        window.outputs = [gate for gate in window.gates if gate in outputs]
+    return windows

@@ -1,0 +1,171 @@
+"""Extract windows as standalone sub-networks and stitch results back.
+
+The other half of partition-parallel optimization
+(:mod:`repro.parallel.partition` decides *what* a window is; this module
+moves one across the process boundary and back):
+
+* :func:`extract_window` — rebuild a :class:`~repro.parallel.partition
+  .Window` as a standalone network of the same class: frontier pins
+  become primary inputs (in sorted-node-id order), window outputs become
+  primary outputs (in topological order).  The sub-network goes through
+  the class's public gate builders, so it is simplified and strashed
+  exactly like any other network — and it pickles to worker processes
+  like any other network.
+* :func:`stitch_window` — rebuild an (optimized) sub-network's gates
+  into the parent through ``_build_gate`` and replace each window output
+  via the kernel's :meth:`~repro.network.base.LogicNetwork.substitute`
+  machinery, which cascades structural-hash hits and simplifications
+  through the fanout cones.
+
+Stitching is **serial and deterministic**: windows are stitched in
+window order regardless of which worker optimized them, so the final
+network is a pure function of ``(parent structure, partition spec,
+per-window results)`` — and per-window results are pure functions of the
+extracted sub-networks.  That is what extends the package's determinism
+contract to windows (bit-identical stitched networks at any worker
+count).
+
+Replacement-map discipline
+--------------------------
+Substitution cascades can retarget or collapse nodes *ahead* of the
+window being stitched, so later windows must not trust raw node ids:
+
+* every window output ``o`` records its replacement signal in ``repl``
+  (the identity signal when the substitution was a structural no-op or
+  was skipped), and later windows resolve their frontier pins through
+  ``repl`` — a gate pin is always some earlier window's output, so the
+  entry exists by construction;
+* every replacement node is **pinned**
+  (:meth:`~repro.network.base.LogicNetwork.pin_node`) for the duration
+  of the stitch phase: a replacement that loses its last structural
+  reference to a later cascade would otherwise be reclaimed while the
+  map still points at it.  :func:`release_pins` drops the holds and
+  sweeps the dangling remains at the end.
+
+``substitute`` refuses (returns ``False``) when the replacement cone
+reaches back through the output being replaced — possible when a
+rebuilt gate strash-hits a node downstream of ``o``.  The stitch then
+keeps the original output (functionally correct: stitching never
+changes what any live node computes) and reports it in the stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.signal import CONST_NODE, make_signal, negate_if, node_of
+from .partition import Window
+
+__all__ = ["StitchStats", "extract_window", "stitch_window", "release_pins"]
+
+
+@dataclass
+class StitchStats:
+    """Per-window outcome of one :func:`stitch_window` call."""
+
+    substituted: int = 0  #: outputs replaced by a different node
+    unchanged: int = 0  #: outputs whose rebuilt signal strashed onto themselves
+    skipped_cycles: int = 0  #: substitutions refused by the cycle check
+    pinned: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "substituted": self.substituted,
+            "unchanged": self.unchanged,
+            "skipped_cycles": self.skipped_cycles,
+        }
+
+
+def extract_window(net, window: Window):
+    """Build ``window`` of ``net`` as a standalone same-class network."""
+    sub = net.__class__()
+    sub.name = f"{getattr(net, 'name', 'network')}.w{window.index}"
+    mapping: Dict[int, int] = {CONST_NODE: make_signal(CONST_NODE)}
+    for position, pin in enumerate(window.inputs):
+        mapping[pin] = sub.add_pi(f"p{position}")
+    for gate in window.gates:
+        fanins = tuple(
+            negate_if(mapping[node_of(f)], f & 1) for f in net.fanins(gate)
+        )
+        mapping[gate] = sub._build_gate(fanins)
+    for position, output in enumerate(window.outputs):
+        sub.add_po(mapping[output], f"q{position}")
+    return sub
+
+
+def stitch_window(
+    net, window: Window, optimized, repl: Dict[int, int]
+) -> StitchStats:
+    """Rebuild ``optimized`` (a window sub-network) into ``net``.
+
+    ``repl`` maps earlier window outputs to their current replacement
+    signals; this call extends it with ``window``'s outputs.  Returns
+    the stitch outcome; the pinned nodes recorded in it stay protected
+    until :func:`release_pins`.
+    """
+    if optimized.num_pis != len(window.inputs) or optimized.num_pos != len(
+        window.outputs
+    ):
+        raise ValueError(
+            f"window {window.index}: optimized sub-network interface "
+            f"{optimized.num_pis}/{optimized.num_pos} does not match the "
+            f"window's {len(window.inputs)}/{len(window.outputs)} pins"
+        )
+    stats = StitchStats()
+    mapping: Dict[int, int] = {CONST_NODE: make_signal(CONST_NODE)}
+    for pin, pi_node in zip(window.inputs, optimized.pi_nodes()):
+        # A gate pin is an output of an earlier window, so its current
+        # signal is in ``repl``; a primary-input pin maps to itself.
+        mapping[pi_node] = repl.get(pin, make_signal(pin))
+    for gate in optimized.topological_order():
+        fanins = tuple(
+            negate_if(mapping[node_of(f)], f & 1) for f in optimized.fanins(gate)
+        )
+        signal = net._build_gate(fanins)
+        mapping[gate] = signal
+        # Pin every rebuilt gate (fresh or strash hit) for the duration
+        # of the stitch phase: the substitution cascades below can
+        # otherwise reclaim a node this mapping still points at — a
+        # strash hit downstream of an output being replaced, or a fresh
+        # gate whose only reference died with a collapsed cone.
+        net.pin_node(node_of(signal))
+        stats.pinned.append(node_of(signal))
+    for output, po_signal in zip(window.outputs, optimized.po_signals()):
+        new_signal = negate_if(mapping[node_of(po_signal)], po_signal & 1)
+        new_node = node_of(new_signal)
+        # Pin again independently of the loop above: a sub-network PO
+        # may point at a frontier pin or constant rather than a gate.
+        net.pin_node(new_node)
+        stats.pinned.append(new_node)
+        if new_node == output:
+            # The rebuilt cone strashed onto the original gate — the
+            # optimizer found nothing here (or found the same structure).
+            stats.unchanged += 1
+            repl[output] = new_signal
+        elif net.substitute(output, new_signal):
+            stats.substituted += 1
+            repl[output] = new_signal
+        else:
+            # Cycle refusal: the replacement cone reaches through
+            # ``output``.  Keep the original node (still computes the
+            # original function) and pin it for later windows' pins.
+            stats.skipped_cycles += 1
+            repl[output] = make_signal(output)
+            net.pin_node(output)
+            stats.pinned.append(output)
+    return stats
+
+
+def release_pins(net, stitch_stats: List[StitchStats]) -> int:
+    """Drop every stitch-phase pin and sweep the dangling leftovers.
+
+    Returns the number of nodes reclaimed by the final cleanup (rebuilt
+    cones that every substitution rejected, plus replaced logic kept
+    alive only by its pin).
+    """
+    for stats in stitch_stats:
+        for node in stats.pinned:
+            net.unpin_node(node)
+        stats.pinned.clear()
+    return net.cleanup()

@@ -20,10 +20,18 @@ topological order, over shared primary-input variables — through one
    representative, so the entire downstream cone re-converges onto the
    representative's logic and the CNF stays the size of roughly one
    network (this, not equality clauses, is what keeps propagation local).
-   A *refuted* pair yields a distinguishing input pattern that is **fed
-   back into the simulator**, re-splitting every candidate class before
-   the lookup is retried.  Queries that exhaust their conflict budget
-   leave the candidate unmerged — soundness never depends on a merge.
+   A *refuted* pair yields a distinguishing input pattern that is
+   **queued for the simulator**; queued patterns are folded into the
+   signatures lazily, ``probe_flush_bits`` at a time, in one sub-word
+   vectorized pass through the compiled graph kernel (see
+   :meth:`_Sweeper.flush_refinements`).  Between flushes, lookups probe
+   the *stale* candidate classes — sound, because signatures only ever
+   extend (a refinement splits classes, never re-joins them), so a stale
+   bucket is a superset of its refined descendants: equal functions are
+   never missed, and a spurious stale collision costs one budgeted SAT
+   refutation, never a wrong merge.  Queries that exhaust their conflict
+   budget leave the candidate unmerged — soundness never depends on a
+   merge.
 4. After both networks are encoded, each primary-output pair is either
    already the *same literal* (proved structurally/by merge), or is
    decided by a final budgeted SAT call per output: UNSAT proves the
@@ -66,8 +74,18 @@ __all__ = ["SweepOutcome", "sat_sweep"]
 EQUIVALENT = "equivalent"
 INEQUIVALENT = "inequivalent"
 
-#: Safety valve: retries of a candidate lookup after refutation restarts.
-_MAX_CANDIDATE_ATTEMPTS = 32
+#: Default refutation-batch width: flush queued counterexample patterns
+#: into the signatures only once this many have accumulated, so each
+#: flush is one sub-word vectorized kernel pass amortized over the batch
+#: instead of a per-probe evaluation (``probe_flush_bits=1``).  Larger
+#: batches keep cutting flush time (measured ~8x at 64) but widen the
+#: staleness window — refuted representatives linger in their candidate
+#: buckets and draw duplicate budgeted SAT probes from later
+#: sig-identical candidates — and on refinement-heavy sweeps the extra
+#: solver time overtakes the flush savings past a small batch.  4 is the
+#: measured end-to-end optimum (``benchmarks/bench_codegen.py`` records
+#: the lane: baseline 1, default, and full-word 64).
+_DEFAULT_PROBE_FLUSH_BITS = 4
 
 
 @dataclass
@@ -94,12 +112,16 @@ class _Sweeper:
         initial_patterns: int,
         merge_conflict_budget: int,
         max_refinements: int,
+        probe_flush_bits: int = _DEFAULT_PROBE_FLUSH_BITS,
     ) -> None:
+        if probe_flush_bits < 1:
+            raise ValueError(f"probe_flush_bits must be >= 1, got {probe_flush_bits}")
         self.graph = GateGraph(num_pis)
         self.solver = SatSolver()
         self._clause_cursor = 0
         self.merge_conflict_budget = merge_conflict_budget
         self.max_refinements = max_refinements
+        self.probe_flush_bits = probe_flush_bits
 
         rng = random.Random(seed)
         self.num_bits = max(64, initial_patterns)
@@ -219,36 +241,30 @@ class _Sweeper:
             eval_gate(self.values, gate_tt, gate_lits, self.mask)
         )
 
-        refine = self.stats["refinements"] < self.max_refinements
-        for _ in range(_MAX_CANDIDATE_ATTEMPTS):
-            # Queued refutations re-split the classes before each lookup,
-            # so a retry never chases a bucket the last round disproved.
+        # Threshold flush: queued refutations reach the signatures only
+        # once a full sub-word batch has accumulated, so each flush is a
+        # single vectorized kernel pass amortized over ``probe_flush_bits``
+        # probes.  The lookup below then scans the (possibly stale) bucket
+        # exactly once — a stale bucket is a superset of its refined
+        # descendants (signatures only extend, so refinement splits
+        # classes, never re-joins them), which means a rep provable equal
+        # under fully refined signatures is necessarily in this bucket,
+        # and any stale impostor costs one budgeted SAT refutation, never
+        # a wrong merge.
+        if len(self._pending) >= self.probe_flush_bits:
             self.flush_refinements()
-            sig = self.values[var]
-            phase = sig & 1
-            key = sig ^ (self.mask if phase else 0)
-            cand = (var << 1) | phase
-            bucket = self.table.get(key)
-            if not bucket:
-                break
-            # Scan the whole bucket rather than restarting at the first
-            # refutation: every refuted rep contributes a distinguishing
-            # pattern to the same batch, and a later rep may still prove
-            # equal (stale signatures only ever cost a SAT call, never a
-            # wrong merge).
-            restart = False
-            for rep_lit in bucket:
-                verdict = self._prove_pair(rep_lit, cand, refine)
-                if verdict == "equal":
-                    self.stats["merges"] += 1
-                    # Substitution: the caller wires its cone to the
-                    # representative; ``var`` becomes a dangling alias.
-                    return rep_lit ^ phase ^ out_flip
-                if verdict == "refuted" and refine:
-                    restart = True  # signatures changed: re-key and retry
-            if not restart:
-                break
+        sig = self.values[var]
+        phase = sig & 1
+        key = sig ^ (self.mask if phase else 0)
+        cand = (var << 1) | phase
+        for rep_lit in self.table.get(key, ()):
             refine = self.stats["refinements"] < self.max_refinements
+            verdict = self._prove_pair(rep_lit, cand, refine)
+            if verdict == "equal":
+                self.stats["merges"] += 1
+                # Substitution: the caller wires its cone to the
+                # representative; ``var`` becomes a dangling alias.
+                return rep_lit ^ phase ^ out_flip
         self._register(var)
         return lit
 
@@ -321,6 +337,7 @@ def sat_sweep(
     output_conflict_budget: int = 200_000,
     max_refinements: int = 512,
     final_workers: Optional[int] = None,
+    probe_flush_bits: int = _DEFAULT_PROBE_FLUSH_BITS,
 ) -> SweepOutcome:
     """Decide equivalence of ``first`` and ``second`` by SAT sweeping.
 
@@ -333,7 +350,11 @@ def sat_sweep(
 
     ``final_workers`` (see module docstring) dispatches the final per-PO
     calls across processes; verdicts are bit-identical at any worker
-    count.
+    count.  ``probe_flush_bits`` sets the refutation-batch width: queued
+    counterexample patterns are folded into the simulation signatures in
+    sub-word vectorized batches of this size (``1`` recovers the
+    per-probe flushing baseline; the verdict is identical either way —
+    only the flush count and wall clock change).
     """
     if first.num_pis != second.num_pis:
         raise ValueError(
@@ -350,6 +371,7 @@ def sat_sweep(
         initial_patterns,
         merge_conflict_budget,
         max_refinements,
+        probe_flush_bits,
     )
     graph = sweeper.graph
     pos_first = encode_network(graph, first, add_gate=sweeper.add_gate)

@@ -1,0 +1,146 @@
+"""Tests of the scalable benchmark generator (parametric 10^5–10^6 families).
+
+Functional correctness is checked exhaustively at small parameters (a
+4x4 multiplier really multiplies, a 3-operand tree really sums);
+preset-scale properties — determinism, measured gate-count envelopes,
+registry resolution alongside the Table I suite — are checked on the
+smoke-scale presets so the suite stays fast.
+"""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.bench_circuits import (
+    BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    build_scalable,
+    scalable_names,
+)
+from repro.bench_circuits.generator import (
+    gen_adder_tree,
+    gen_multiplier,
+    gen_random_logic,
+)
+from repro.core import Mig
+from repro.parallel.corpus import structural_fingerprint
+
+SMOKE_PRESETS = ("mult_48", "adder_tree_64", "rand_400")
+
+
+def _exhaustive_po_values(net):
+    num_pis = net.num_pis
+    bits = 1 << num_pis
+    patterns = []
+    for i in range(num_pis):
+        block = (1 << (1 << i)) - 1
+        pattern = 0
+        period = 1 << (i + 1)
+        for start in range(1 << i, bits, period):
+            pattern |= block << start
+        patterns.append(pattern)
+    return net.simulate_patterns(patterns, bits), bits
+
+
+class TestFamilies:
+    def test_multiplier_multiplies(self):
+        width = 4
+        net = Mig()
+        gen_multiplier(net, width)
+        assert net.num_pis == 2 * width
+        assert net.num_pos == 2 * width
+        values, bits = _exhaustive_po_values(net)
+        for minterm in range(bits):
+            a = minterm & ((1 << width) - 1)
+            b = minterm >> width
+            product = sum(
+                ((values[j] >> minterm) & 1) << j for j in range(2 * width)
+            )
+            assert product == a * b, f"{a}*{b} -> {product}"
+
+    def test_adder_tree_sums(self):
+        width, operands = 3, 3
+        net = Mig()
+        gen_adder_tree(net, width, operands)
+        assert net.num_pis == width * operands
+        values, bits = _exhaustive_po_values(net)
+        mask = (1 << width) - 1
+        for minterm in range(bits):
+            total = sum((minterm >> (width * j)) & mask for j in range(operands))
+            got = sum(
+                ((values[j] >> minterm) & 1) << j for j in range(net.num_pos)
+            )
+            assert got == total, f"minterm {minterm}: {got} != {total}"
+
+    def test_adder_tree_rejects_single_operand(self):
+        with pytest.raises(ValueError):
+            gen_adder_tree(Mig(), 4, 1)
+
+    def test_random_logic_is_seeded(self):
+        first, second = Mig(), Mig()
+        gen_random_logic(first, 20, seed=5)
+        gen_random_logic(second, 20, seed=5)
+        assert structural_fingerprint(first) == structural_fingerprint(second)
+        third = Mig()
+        gen_random_logic(third, 20, seed=6)
+        assert structural_fingerprint(third) != structural_fingerprint(first)
+
+    def test_random_logic_is_fully_live(self):
+        net = Mig()
+        gen_random_logic(net, 30)
+        before = net.num_gates
+        net.cleanup()
+        assert net.num_gates == before
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", SMOKE_PRESETS)
+    def test_preset_is_deterministic(self, name):
+        assert structural_fingerprint(build_scalable(name)) == (
+            structural_fingerprint(build_scalable(name))
+        )
+
+    @pytest.mark.parametrize("name", SMOKE_PRESETS)
+    def test_preset_size_envelope(self, name):
+        spec = SCALABLE_BENCHMARKS[name]
+        net = build_scalable(name)
+        assert net.name == name
+        ratio = net.num_gates / spec.approx_gates
+        assert 0.8 <= ratio <= 1.2, (
+            f"{name}: {net.num_gates} gates drifted from measured "
+            f"{spec.approx_gates} ({ratio:.2f}x)"
+        )
+
+    def test_presets_build_as_both_network_classes(self):
+        mig = build_scalable("adder_tree_64", Mig)
+        aig = build_scalable("adder_tree_64", Aig)
+        assert isinstance(aig, Aig)
+        assert mig.num_pis == aig.num_pis
+        assert mig.num_pos == aig.num_pos
+
+    def test_scale_lanes_are_registered(self):
+        names = scalable_names()
+        assert set(names) == set(SCALABLE_BENCHMARKS)
+        # One >=10^5 and one >=10^6 preset per the ROADMAP million-gate item.
+        sizes = [SCALABLE_BENCHMARKS[name].approx_gates for name in names]
+        assert any(size >= 100_000 for size in sizes)
+        assert any(size >= 1_000_000 for size in sizes)
+
+
+class TestRegistry:
+    def test_build_benchmark_resolves_scalable_names(self):
+        net = build_benchmark("rand_400")
+        assert net.name == "rand_400"
+
+    def test_table1_names_unchanged(self):
+        # Corpus sweeps iterate benchmark_names(); the scalable presets
+        # must not leak into the Table I set.
+        assert benchmark_names() == list(BENCHMARKS)
+        assert not set(scalable_names()) & set(benchmark_names())
+
+    def test_unknown_name_lists_both_registries(self):
+        with pytest.raises(KeyError) as excinfo:
+            build_benchmark("no_such_circuit")
+        message = str(excinfo.value)
+        assert "rand_400" in message
