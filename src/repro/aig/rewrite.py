@@ -27,7 +27,7 @@ full enumeration — use the in-place API for multi-round workloads.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..network.cuts import release_cut_state
 from ..network.rewrite import cut_rewrite
@@ -41,15 +41,25 @@ def rewrite_aig_inplace(
     k: int = 4,
     cut_limit: int = 8,
     allow_zero_gain: bool = True,
+    max_level_growth: Optional[int] = None,
+    max_size_growth: int = 0,
     incremental: bool = True,
 ) -> Dict[str, int]:
-    """Run one Boolean cut-rewriting sweep over ``aig`` in place."""
+    """Run one Boolean cut-rewriting sweep over ``aig`` in place.
+
+    ``max_level_growth`` defaults to ``None`` (size-first, the ABC
+    ``rewrite`` convention); a negative value selects depth mode over the
+    top-k structure lists, with ``max_size_growth`` bounding the nodes a
+    depth-improving move may spend.
+    """
     return cut_rewrite(
         aig,
         "aig",
         k=k,
         cut_limit=cut_limit,
         allow_zero_gain=allow_zero_gain,
+        max_level_growth=max_level_growth,
+        max_size_growth=max_size_growth,
         incremental=incremental,
     )
 

@@ -41,6 +41,7 @@ def rewrite_mig(
     cut_limit: int = 6,
     allow_zero_gain: bool = False,
     max_level_growth: Optional[int] = 0,
+    max_size_growth: int = 0,
     incremental: bool = True,
 ) -> Dict[str, int]:
     """Run one Boolean cut-rewriting sweep over ``mig`` in place.
@@ -50,7 +51,9 @@ def rewrite_mig(
     cut engine's ``cut_nodes_recomputed`` / ``cut_nodes_reused``
     counters).  With the default ``max_level_growth=0`` the sweep never
     increases ``mig.depth()``; pass ``None`` to lift the bound
-    (size-first mode).  Sweeps share the MIG's
+    (size-first mode) or a negative value for depth mode, where the
+    shallowest admissible top-k entry wins and ``max_size_growth`` extra
+    nodes may be spent per depth-improving move.  Sweeps share the MIG's
     :class:`~repro.network.cuts.CutManager`, so repeated rounds
     re-enumerate only touched cones; ``incremental=False`` forces
     from-scratch enumeration.
@@ -62,5 +65,6 @@ def rewrite_mig(
         cut_limit=cut_limit,
         allow_zero_gain=allow_zero_gain,
         max_level_growth=max_level_growth,
+        max_size_growth=max_size_growth,
         incremental=incremental,
     )

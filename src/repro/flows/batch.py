@@ -321,15 +321,18 @@ def optimize_large(
     certify: bool = True,
     flow: str = "auto",
     flow_kwargs: Optional[dict] = None,
+    certify_options: Optional[dict] = None,
 ) -> LargeResult:
     """Optimize one large network by partition-parallel windowed rewriting.
 
     The single-circuit counterpart of :func:`optimize_many`: the network
     is decomposed into bounded windows, windows are optimized in worker
-    processes (with per-window SAT certification when ``certify``), and
-    the results are stitched back serially — see
-    :mod:`repro.flows.partitioned` for the determinism contract (results
-    are bit-identical at any worker count for a fixed partition spec).
+    processes (with per-window SAT certification when ``certify``;
+    ``certify_options`` sizes the per-window equivalence budgets, and an
+    uncertified window rejects the run), and the results are stitched
+    back serially — see :mod:`repro.flows.partitioned` for the
+    determinism contract (results are bit-identical at any worker count
+    for a fixed partition spec).
 
     The input network is never mutated: it crosses into a private copy
     by pickling (preserving node ids exactly, like the worker boundary
@@ -349,6 +352,7 @@ def optimize_large(
                 certify=certify,
                 flow=flow,
                 flow_kwargs=flow_kwargs,
+                certify_options=certify_options,
             )
         ],
         name="optimize_large",

@@ -57,16 +57,30 @@ __all__ = [
 
 
 class PassVerificationError(AssertionError):
-    """A pass broke functional equivalence (per-pass ``verify=`` hook)."""
+    """A pass broke functional equivalence (per-pass ``verify=`` hook).
+
+    Also raised when the checker could not *certify* equivalence (an
+    uncertified ``equivalent=True``, e.g. a budget-exhausted SAT sweep
+    falling back to random simulation): self-certification must never
+    report a pass as verified on a non-proof.
+    """
 
     def __init__(self, pass_name: str, result) -> None:
         self.pass_name = pass_name
         self.result = result
-        super().__init__(
-            f"pass {pass_name!r} is NOT function-preserving "
-            f"(method={result.method}, output index={result.failing_output}, "
-            f"counterexample={result.counterexample})"
-        )
+        if result.equivalent and not getattr(result, "certified", True):
+            message = (
+                f"pass {pass_name!r} could NOT be certified "
+                f"(method={result.method} found no mismatch but is not a "
+                f"proof; raise the verification budget)"
+            )
+        else:
+            message = (
+                f"pass {pass_name!r} is NOT function-preserving "
+                f"(method={result.method}, output index={result.failing_output}, "
+                f"counterexample={result.counterexample})"
+            )
+        super().__init__(message)
 
 
 # --------------------------------------------------------------------- #
@@ -292,11 +306,13 @@ class Pipeline:
             details = details or {}
             if verifier is not None:
                 check = verifier(reference, network)
+                certified = getattr(check, "certified", True)
                 details["verify"] = {
                     "equivalent": check.equivalent,
                     "method": check.method,
+                    "certified": certified,
                 }
-                if not check.equivalent:
+                if not check.equivalent or not certified:
                     raise PassVerificationError(pass_.name, check)
             activity = self._activity(network)
             metrics.append(
@@ -499,12 +515,14 @@ class MigRewrite(Pass):
         cut_limit: int = 6,
         allow_zero_gain: bool = False,
         max_level_growth: Optional[int] = 0,
+        max_size_growth: int = 0,
         incremental: bool = True,
     ) -> None:
         self.k = k
         self.cut_limit = cut_limit
         self.allow_zero_gain = allow_zero_gain
         self.max_level_growth = max_level_growth
+        self.max_size_growth = max_size_growth
         self.incremental = incremental
 
     def apply(self, network) -> Dict[str, object]:
@@ -519,6 +537,7 @@ class MigRewrite(Pass):
             cut_limit=self.cut_limit,
             allow_zero_gain=self.allow_zero_gain,
             max_level_growth=self.max_level_growth,
+            max_size_growth=self.max_size_growth,
             incremental=self.incremental,
         )
 

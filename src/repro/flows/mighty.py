@@ -62,7 +62,7 @@ def mighty_pipeline(
     size_effort: int = 1,
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
-    boolean_rewrite: bool = False,
+    boolean_rewrite: bool = True,
     verify=None,
 ) -> Pipeline:
     """Build the MIGhty flow as a declarative pass pipeline.
@@ -75,7 +75,8 @@ def mighty_pipeline(
     balance (closed-form Ω.A) gives the majority-specific depth moves a
     well-conditioned starting point.
 
-    ``boolean_rewrite=True`` interleaves NPN-database cut rewriting
+    ``boolean_rewrite`` (default **on** since the top-k structure
+    database landed) interleaves NPN-database cut rewriting
     (:class:`~repro.flows.engine.MigRewrite`) with the algebraic size
     recovery — an optimization scenario beyond the paper's purely
     algebraic flow.  Each rewrite sweep is depth-safe and only commits
@@ -83,7 +84,8 @@ def mighty_pipeline(
     algebraic one on both metrics is an empirical result (verified per
     benchmark by ``benchmarks/acceptance_cut_rewrite.py`` over the Table I
     suite), not a structural guarantee — later heuristic rounds start
-    from a different network and could in principle land elsewhere.
+    from a different network and could in principle land elsewhere.  Pass
+    ``boolean_rewrite=False`` for the paper's purely algebraic flow.
 
     ``verify`` enables per-pass self-certification: ``True`` proves every
     top-level pass function-preserving through the equivalence-checking
@@ -118,7 +120,7 @@ def mighty_optimize(
     pi_probabilities: Optional[Mapping[str, float]] = None,
     activity_recovery: bool = True,
     reshape_params: Optional[ReshapeParams] = None,
-    boolean_rewrite: bool = False,
+    boolean_rewrite: bool = True,
     verify=None,
 ) -> MightyResult:
     """Run the MIGhty delay-oriented flow in place.

@@ -45,16 +45,29 @@ _DEFAULT_MIG_WINDOW_KWARGS = {"rounds": 1, "depth_effort": 1}
 
 
 class WindowVerificationError(AssertionError):
-    """A window optimization broke functional equivalence."""
+    """A window optimization broke (or could not certify) equivalence.
+
+    Raised both on a proven mismatch and on an *uncertified* all-clear
+    (the checker's budget ran out and only random simulation vouches for
+    the window): a window is only ever stitched on a proof.
+    """
 
     def __init__(self, window_label: str, result) -> None:
         self.window_label = window_label
         self.result = result
-        super().__init__(
-            f"window {window_label} is NOT function-preserving "
-            f"(method={result.method}, output index={result.failing_output}, "
-            f"counterexample={result.counterexample})"
-        )
+        if result.equivalent and not getattr(result, "certified", True):
+            message = (
+                f"window {window_label} could NOT be certified "
+                f"(method={result.method} found no mismatch but is not a "
+                f"proof; raise the certification budget via certify_options)"
+            )
+        else:
+            message = (
+                f"window {window_label} is NOT function-preserving "
+                f"(method={result.method}, output index={result.failing_output}, "
+                f"counterexample={result.counterexample})"
+            )
+        super().__init__(message)
 
 
 def _window_flow(network, flow: str) -> str:
@@ -68,14 +81,17 @@ def _window_flow(network, flow: str) -> str:
 def _window_task(item):
     """Worker task: optimize (and certify) one extracted window.
 
-    ``item`` is ``(sub, flow, flow_kwargs, certify)``; ``sub`` is this
-    process's private unpickled copy of the extracted sub-network and is
-    kept as the certification reference.  Returns ``(optimized_or_None,
-    info)`` — ``None`` when the optimizer did not strictly improve the
-    ``(size, depth)`` order, so the stitch phase skips the window.
-    A failed certification raises (fail-fast through the pool).
+    ``item`` is ``(sub, flow, flow_kwargs, certify, certify_options)``;
+    ``sub`` is this process's private unpickled copy of the extracted
+    sub-network and is kept as the certification reference.  Returns
+    ``(optimized_or_None, info)`` — ``None`` when the optimizer did not
+    strictly improve the ``(size, depth)`` order, so the stitch phase
+    skips the window.  A failed *or uncertified* certification raises
+    (fail-fast through the pool): an equivalence verdict that only means
+    "random simulation found nothing" never counts as window
+    certification.
     """
-    sub, flow, flow_kwargs, certify = item
+    sub, flow, flow_kwargs, certify, certify_options = item
     size_before, depth_before = sub.num_gates, sub.depth()
     if flow == "mighty":
         from .mighty import mighty_optimize
@@ -99,12 +115,14 @@ def _window_task(item):
     if certify:
         from ..verify.equivalence import check_equivalence
 
-        result = check_equivalence(sub, optimized)
+        result = check_equivalence(sub, optimized, **(certify_options or {}))
+        certified = getattr(result, "certified", True)
         info["certified"] = {
             "equivalent": result.equivalent,
             "method": result.method,
+            "certified": certified,
         }
-        if not result.equivalent:
+        if not result.equivalent or not certified:
             raise WindowVerificationError(sub.name, result)
     improved = (optimized.num_gates, optimized.depth()) < (size_before, depth_before)
     info["improved"] = improved
@@ -119,6 +137,7 @@ def partitioned_rewrite(
     certify: bool = True,
     flow: str = "auto",
     flow_kwargs: Optional[dict] = None,
+    certify_options: Optional[dict] = None,
 ) -> Dict[str, object]:
     """Windowed optimization of ``network`` in place; returns details.
 
@@ -126,9 +145,14 @@ def partitioned_rewrite(
     shard planner's pool (LPT by window gate count) → stitch serially in
     window order → release pins and sweep.  ``certify`` proves every
     window job function-preserving inside its worker (SAT-backed for
-    wide windows); the stitched network additionally stays
-    check-equivalence-able against the input as a whole, which the tests
-    do on forged networks.
+    wide windows); an uncertified verdict (budget exhausted, random
+    fallback) rejects the window by raising
+    :class:`WindowVerificationError` — it is never stitched as if
+    proven.  ``certify_options`` is forwarded to
+    :func:`~repro.verify.equivalence.check_equivalence` (e.g.
+    ``{"sat_options": {...}}`` to size the per-window proof budget).
+    The stitched network additionally stays check-equivalence-able
+    against the input as a whole, which the tests do on forged networks.
     """
     start = time.perf_counter()
     network.cleanup()
@@ -157,7 +181,7 @@ def partitioned_rewrite(
     subs = [extract_window(network, window) for window in windows]
     report = parallel_map(
         _window_task,
-        [(sub, resolved, kwargs, certify) for sub in subs],
+        [(sub, resolved, kwargs, certify, certify_options) for sub in subs],
         workers=workers,
         costs=[window.num_gates for window in windows],
         labels=[f"w{window.index}" for window in windows],
@@ -244,6 +268,7 @@ class PartitionedRewrite(Pass):
         certify: bool = True,
         flow: str = "auto",
         flow_kwargs: Optional[dict] = None,
+        certify_options: Optional[dict] = None,
     ) -> None:
         self.max_window_gates = max_window_gates
         self.strategy = strategy
@@ -251,6 +276,7 @@ class PartitionedRewrite(Pass):
         self.certify = certify
         self.flow = flow
         self.flow_kwargs = flow_kwargs
+        self.certify_options = certify_options
 
     def apply(self, network) -> Dict[str, object]:
         return partitioned_rewrite(
@@ -261,4 +287,5 @@ class PartitionedRewrite(Pass):
             certify=self.certify,
             flow=self.flow,
             flow_kwargs=self.flow_kwargs,
+            certify_options=self.certify_options,
         )

@@ -17,11 +17,17 @@ module provides the three pieces:
   transform group's generators (adjacent swaps, single-input negations,
   output negation), each implemented as an O(1) mask-and-shift on the
   table — far cheaper than scoring all 768 transforms per function;
-* the structure database: for every canonical class, a precomputed MIG
-  and AIG implementation (:class:`DbEntry`), derived exhaustively over
-  the classes by Shannon/XOR decomposition with structural hashing and
-  polished by the repository's own size optimizers, stored as a replayable
-  program over four abstract inputs.
+* the structure database: for every canonical class, a **top-k list** of
+  MIG and AIG implementations (:class:`DbEntry`) forming the Pareto front
+  on (size, depth) — list head is size-optimal-first, list tail is the
+  shallowest known structure — so area-oriented rewriting takes ``[0]``
+  and depth-oriented rewriting (``max_level_growth < 0``) scans for the
+  shallowest admissible entry.  The fast tier derives candidates by
+  Shannon/XOR decomposition with structural hashing, polished by the
+  repository's size *and* depth optimizers; an optional exact tier
+  (:mod:`repro.synth.exact`, via ``derive_structures_parallel(exact=True)``
+  or :func:`register_structures`) adds SAT-proven size/depth-optimal
+  programs where the conflict budget allows.
 
 Derived entries are additionally persisted to a small on-disk JSON cache
 (one file per kind) so cold starts skip the derivation entirely.  The
@@ -67,6 +73,9 @@ __all__ = [
     "DbEntry",
     "entry_truth_table",
     "get_structure",
+    "get_structures",
+    "register_structures",
+    "structure_db_generation",
     "derive_structures_parallel",
     "replay_structure",
     "structure_cache_path",
@@ -263,13 +272,25 @@ class DbEntry(NamedTuple):
     depth: int
 
 
-_DB: Dict[Tuple[str, int], DbEntry] = {}
+#: Per-class top-k entry lists: the Pareto front on (size, depth), sorted
+#: by ascending size; ``[0]`` is the size-best entry, ``[-1]`` the
+#: shallowest.  Sizes strictly increase and depths strictly decrease along
+#: a list, so every entry is the unique best answer for some trade-off.
+_DB: Dict[Tuple[str, int], Tuple[DbEntry, ...]] = {}
 
 #: Kinds whose on-disk cache file has already been consulted this process.
 _DB_LOADED: set = set()
 
+#: Monotonic identity of the in-memory database: bumped on every visible
+#: change (cache load, fresh derivation, registration, reset).  Consumers
+#: that memoize decisions made *against* the database — notably the
+#: cut-rewrite convergence skip — fold this into their tokens so a DB
+#: swap re-arms them.
+_DB_GENERATION = 0
+
 #: Bumped when the serialised layout changes (stale files are ignored).
-_DB_FORMAT_VERSION = 1
+#: v2: entry lists per class (top-k Pareto fronts) instead of one entry.
+_DB_FORMAT_VERSION = 2
 
 #: Gate arity per database kind (cached entries must match).
 _KIND_ARITY = {"mig": 3, "aig": 2}
@@ -291,8 +312,11 @@ _DB_FINGERPRINT_SOURCES = (
     "core/algebra.py",
     "core/size_opt.py",
     "core/reshape.py",
+    "core/depth_opt.py",
     "aig/aig.py",
     "aig/balance.py",
+    "synth/__init__.py",
+    "synth/exact.py",
 )
 
 
@@ -314,6 +338,68 @@ def entry_truth_table(entry: DbEntry) -> int:
         else:
             raise ValueError(f"unsupported op arity {len(operands)}")
     return (tables[entry.output >> 1] ^ (_FULL if entry.output & 1 else 0)) & _FULL
+
+
+def structure_db_generation() -> int:
+    """Monotonic identity of the in-memory structure database.
+
+    Changes whenever the database visibly changes (cache load, fresh
+    derivation, :func:`register_structures`, :func:`reset_structure_db`),
+    so decisions memoized against the database can detect a swap.
+    """
+    return _DB_GENERATION
+
+
+def _bump_generation() -> None:
+    global _DB_GENERATION
+    _DB_GENERATION += 1
+
+
+def _entry_depth(entry: DbEntry) -> int:
+    """Structural depth of an entry's program (inputs/constants at 0)."""
+    depths: List[int] = []
+    for op in entry.ops:
+        level = 0
+        for lit in op:
+            ref = lit >> 1
+            if ref >= 5:
+                level = max(level, depths[ref - 5])
+        depths.append(level + 1)
+    ref = entry.output >> 1
+    return depths[ref - 5] if ref >= 5 else 0
+
+
+def _validate_entry(kind: str, table: int, entry: DbEntry) -> bool:
+    """Full semantic validation of one entry against its class function."""
+    if entry.size != len(entry.ops):
+        return False
+    arity = _KIND_ARITY.get(kind)
+    if arity is not None and any(len(op) != arity for op in entry.ops):
+        return False
+    try:
+        if entry_truth_table(entry) != table:
+            return False
+        if entry.depth != _entry_depth(entry):
+            return False
+    except (IndexError, ValueError):
+        return False
+    return True
+
+
+def _pareto_front(entries) -> Tuple[DbEntry, ...]:
+    """The strict Pareto front on (size, depth), sorted by ascending size.
+
+    Along the result, sizes strictly increase and depths strictly
+    decrease: an entry survives only if it is strictly shallower than
+    every smaller entry, so ``[0]`` is the (size, depth)-lexicographic
+    best and ``[-1]`` the shallowest known structure.
+    """
+    front: List[DbEntry] = []
+    for entry in sorted(set(entries), key=lambda e: (e.size, e.depth, e.ops, e.output)):
+        if front and entry.depth >= front[-1].depth:
+            continue
+        front.append(entry)
+    return tuple(front)
 
 
 @lru_cache(maxsize=1)
@@ -357,35 +443,45 @@ def _load_structure_cache(kind: str) -> None:
     if not isinstance(entries, dict):
         return
     canon = _canonical_map()
-    arity = _KIND_ARITY.get(kind)
-    for key, raw in entries.items():
+    loaded = False
+    for key, raw_list in entries.items():
         try:
             table = int(key)
-            entry = DbEntry(
-                tuple(tuple(int(lit) for lit in op) for op in raw["ops"]),
-                int(raw["output"]),
-                int(raw["size"]),
-                int(raw["depth"]),
-            )
-        except (KeyError, TypeError, ValueError):
+        except (TypeError, ValueError):
             continue
-        # Only canonical representatives are valid keys, the recorded size
-        # must match the program, and the program must actually compute
-        # the class function — anything else is ignored, never trusted.
+        # Only canonical representatives are valid keys; every entry of a
+        # class list must parse, match the kind's gate arity, and replay
+        # to the class function (plus consistent size/depth metadata).  A
+        # damaged list invalidates *that class only* — it will be
+        # re-derived — while the rest of the file stays usable.
         if not 0 <= table <= _FULL or canon[table][0] != table:
             continue
-        if entry.size != len(entry.ops):
+        if not isinstance(raw_list, list):
             continue
-        # Gate arity must match the kind: a (table-valid) majority program
-        # smuggled into the AIG file would crash the AND builders later.
-        if arity is not None and any(len(op) != arity for op in entry.ops):
+        parsed: List[DbEntry] = []
+        valid = True
+        for raw in raw_list:
+            try:
+                entry = DbEntry(
+                    tuple(tuple(int(lit) for lit in op) for op in raw["ops"]),
+                    int(raw["output"]),
+                    int(raw["size"]),
+                    int(raw["depth"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                valid = False
+                break
+            if not _validate_entry(kind, table, entry):
+                valid = False
+                break
+            parsed.append(entry)
+        if not valid or not parsed:
             continue
-        try:
-            if entry_truth_table(entry) != table:
-                continue
-        except (IndexError, ValueError):
-            continue
-        _DB.setdefault((kind, table), entry)
+        if (kind, table) not in _DB:
+            _DB[(kind, table)] = _pareto_front(parsed)
+            loaded = True
+    if loaded:
+        _bump_generation()
 
 
 def _save_structure_cache(kind: str) -> None:
@@ -394,13 +490,16 @@ def _save_structure_cache(kind: str) -> None:
     if path is None:
         return
     entries = {
-        str(table): {
-            "ops": [list(op) for op in entry.ops],
-            "output": entry.output,
-            "size": entry.size,
-            "depth": entry.depth,
-        }
-        for (entry_kind, table), entry in _DB.items()
+        str(table): [
+            {
+                "ops": [list(op) for op in entry.ops],
+                "output": entry.output,
+                "size": entry.size,
+                "depth": entry.depth,
+            }
+            for entry in front
+        ]
+        for (entry_kind, table), front in _DB.items()
         if entry_kind == kind
     }
     payload = {
@@ -445,38 +544,83 @@ def reset_structure_db() -> None:
     flush_structure_cache()
     _DB.clear()
     _DB_LOADED.clear()
+    _bump_generation()
 
 
-def get_structure(kind: str, canonical_table: int) -> DbEntry:
-    """Best known ``kind`` ("mig" or "aig") structure for a canonical class.
-
-    Resolution order: in-memory database, then the validated on-disk
-    cache (loaded once per kind per process), then a fresh derivation.
-    Fresh derivations are persisted back in batches (every
-    ``_DB_FLUSH_EVERY`` misses, plus an atexit flush) so the next cold
-    start skips them without paying one file rewrite per class.
-    """
+def _note_pending(kind: str) -> None:
+    """Record an unsaved change of ``kind`` and batch-persist."""
     global _DB_ATEXIT_ARMED
+    if not _DB_ATEXIT_ARMED:
+        _DB_ATEXIT_ARMED = True
+        import atexit
+
+        atexit.register(flush_structure_cache)
+    _DB_PENDING[kind] = _DB_PENDING.get(kind, 0) + 1
+    if _DB_PENDING[kind] >= _DB_FLUSH_EVERY:
+        _DB_PENDING[kind] = 0
+        _save_structure_cache(kind)
+
+
+def get_structures(kind: str, canonical_table: int) -> Tuple[DbEntry, ...]:
+    """Top-k ``kind`` ("mig" or "aig") structures for a canonical class.
+
+    Returns the class's Pareto front on (size, depth): ``[0]`` is the
+    size-best entry (what area-oriented rewriting wants), ``[-1]`` the
+    shallowest (what depth-oriented rewriting scans towards).  Resolution
+    order: in-memory database, then the validated on-disk cache (loaded
+    once per kind per process), then a fresh derivation.  Fresh
+    derivations are persisted back in batches (every ``_DB_FLUSH_EVERY``
+    misses, plus an atexit flush) so the next cold start skips them
+    without paying one file rewrite per class.
+    """
     key = (kind, canonical_table)
-    entry = _DB.get(key)
-    if entry is None:
+    front = _DB.get(key)
+    if front is None:
         if kind not in _DB_LOADED:
             _DB_LOADED.add(kind)
             _load_structure_cache(kind)
-            entry = _DB.get(key)
-        if entry is None:
-            entry = _derive_structure(kind, canonical_table)
-            _DB[key] = entry
-            if not _DB_ATEXIT_ARMED:
-                _DB_ATEXIT_ARMED = True
-                import atexit
+            front = _DB.get(key)
+        if front is None:
+            front = _derive_structures(kind, canonical_table)
+            _DB[key] = front
+            _bump_generation()
+            _note_pending(kind)
+    return front
 
-                atexit.register(flush_structure_cache)
-            _DB_PENDING[kind] = _DB_PENDING.get(kind, 0) + 1
-            if _DB_PENDING[kind] >= _DB_FLUSH_EVERY:
-                _DB_PENDING[kind] = 0
-                _save_structure_cache(kind)
-    return entry
+
+def get_structure(kind: str, canonical_table: int) -> DbEntry:
+    """The size-best known structure of a class (head of the top-k list)."""
+    return get_structures(kind, canonical_table)[0]
+
+
+def register_structures(kind: str, canonical_table: int, entries) -> Tuple[DbEntry, ...]:
+    """Merge externally synthesized entries into a class's top-k list.
+
+    Every entry is fully validated (gate arity, size/depth metadata, and
+    a semantic replay against ``canonical_table``) before being merged
+    into the Pareto front — an entry that does not implement the class
+    function raises ``ValueError`` rather than poisoning the database.
+    Returns the class's new front; bumps the database generation when the
+    front actually changed (so convergence-skip tokens re-arm).
+    """
+    if kind not in _KIND_ARITY:
+        raise ValueError(f"unknown database kind {kind!r}")
+    canonical_table &= _FULL
+    if _canonical_map()[canonical_table][0] != canonical_table:
+        raise ValueError(f"{canonical_table:#06x} is not a canonical representative")
+    for entry in entries:
+        if not _validate_entry(kind, canonical_table, entry):
+            raise ValueError(
+                f"entry does not implement class {canonical_table:#06x} "
+                f"(or has inconsistent metadata)"
+            )
+    current = get_structures(kind, canonical_table)
+    merged = _pareto_front(list(current) + list(entries))
+    if merged != current:
+        _DB[(kind, canonical_table)] = merged
+        _bump_generation()
+        _note_pending(kind)
+    return merged
 
 
 def _warm_canonical() -> None:
@@ -488,24 +632,37 @@ def _warm_canonical() -> None:
     _canonical_map()
 
 
-def _derive_shard(task) -> List[Tuple[str, int, DbEntry]]:
-    """Worker task: derive the entries of one ``(kind, tables)`` shard.
+def _derive_shard(task) -> List[Tuple[str, int, Tuple[DbEntry, ...]]]:
+    """Worker task: derive the entry lists of one ``(kind, tables)`` shard.
 
-    Calls :func:`_derive_structure` directly — bypassing both the
+    Calls :func:`_derive_structures` directly — bypassing both the
     in-memory database and the disk cache — so every worker derives from
     first principles and never races another worker's cache writes; the
-    parent merges the returned entries and persists once.  Derivation is
-    a pure function of ``(kind, table)``, so shard composition cannot
-    change any entry.
+    parent merges the returned fronts and persists once.  Derivation is a
+    pure function of the task, so shard composition cannot change any
+    entry.  A third task element ``(budget, size_slack)`` enables the
+    exact-synthesis enrichment tier for the shard.
     """
-    kind, tables = task
-    return [(kind, table, _derive_structure(kind, table)) for table in tables]
+    kind, tables = task[0], task[1]
+    exact_opts = task[2] if len(task) > 2 else None
+    results = []
+    for table in tables:
+        front = _derive_structures(kind, table)
+        if exact_opts is not None:
+            budget, size_slack = exact_opts
+            front = _exact_enrich(kind, table, front, budget, size_slack)
+        results.append((kind, table, front))
+    return results
 
 
 def derive_structures_parallel(
     kinds: Tuple[str, ...] = ("mig", "aig"),
     workers: Optional[int] = None,
     classes_per_shard: int = 16,
+    exact: bool = False,
+    exact_budget: int = 2_000,
+    exact_size_slack: int = 2,
+    tables: Optional[Tuple[int, ...]] = None,
 ) -> Dict[str, object]:
     """Derive the full structure database sharded across worker processes.
 
@@ -517,7 +674,15 @@ def derive_structures_parallel(
     cache in one atomic save per kind.  Entries are **structurally
     identical to a serial derivation** (asserted by
     ``tests/parallel/test_parallel.py``); the merge never clobbers an
-    entry that is already in memory.
+    entry list that is already in memory.
+
+    With ``exact=True`` each shard additionally runs the SAT-based
+    exact-synthesis enrichment tier (:mod:`repro.synth.exact`) with
+    ``exact_budget`` conflicts per search, adding size- and depth-optimal
+    entries where the budget suffices (UNKNOWN searches keep the
+    decomposition entries, so enrichment never loses structures).
+    ``tables`` restricts the run to a subset of canonical classes (for
+    smoke shards / CI).
 
     Returns a stats dict (classes, kinds, workers, wall-clock, merge
     counts).  With ``workers=1`` the same shard tasks run in-process —
@@ -527,26 +692,30 @@ def derive_structures_parallel(
 
     if classes_per_shard < 1:
         raise ValueError(f"classes_per_shard must be >= 1, got {classes_per_shard}")
-    reps = npn_representatives()
+    reps = list(tables) if tables is not None else npn_representatives()
+    exact_opts = (exact_budget, exact_size_slack) if exact else None
     tasks = []
     for kind in kinds:
         if kind not in _KIND_ARITY:
             raise ValueError(f"unknown database kind {kind!r}")
         for start in range(0, len(reps), classes_per_shard):
-            tasks.append((kind, tuple(reps[start:start + classes_per_shard])))
+            shard = tuple(reps[start:start + classes_per_shard])
+            tasks.append((kind, shard) if exact_opts is None else (kind, shard, exact_opts))
 
     report = parallel_map(
         _derive_shard,
         tasks,
         workers=workers,
-        labels=[f"{kind}[{shard[0]:#06x}..]" for kind, shard in tasks],
+        labels=[f"{task[0]}[{task[1][0]:#06x}..]" for task in tasks],
         warmup=_warm_canonical,
     )
     merged = 0
     for shard_result in report.results:
-        for kind, table, entry in shard_result:
-            if _DB.setdefault((kind, table), entry) is entry:
+        for kind, table, front in shard_result:
+            if _DB.setdefault((kind, table), front) is front:
                 merged += 1
+    if merged:
+        _bump_generation()
     for kind in kinds:
         # The database is now complete for these kinds: mark the disk
         # cache as consulted and persist the merged entries atomically.
@@ -697,42 +866,94 @@ def _synthesize_into(net, table: int, variables) -> int:
     return synth(table)
 
 
-def _build_candidate(kind: str, table: int):
-    """One fresh 4-input network implementing ``table``."""
-    if kind == "mig":
-        from ..core.mig import Mig
+def _candidate_entries(kind: str, table: int) -> List[DbEntry]:
+    """Fast-tier candidate structures for one ``(kind, table)``.
 
-        net = Mig()
-    elif kind == "aig":
-        from ..aig.aig import Aig
+    Direct and complemented decompositions, each in a size-oriented and a
+    depth-oriented polish (MIG: ``optimize_size`` then ``optimize_depth``;
+    AIG: raw then ``balance``) — deterministic pure functions of the
+    arguments, which is what keeps serial and parallel derivation
+    structurally identical.
+    """
+    candidates: List[DbEntry] = []
+    for output_neg in (False, True):
+        target = table ^ (_FULL if output_neg else 0)
+        if kind == "mig":
+            from ..core.depth_opt import optimize_depth
+            from ..core.mig import Mig
+            from ..core.size_opt import optimize_size
 
-        net = Aig()
-    else:
-        raise ValueError(f"unknown database kind {kind!r}")
-    variables = [net.add_pi(f"v{i}") for i in range(4)]
-    net.add_po(_synthesize_into(net, table, variables), "f")
-    if kind == "mig":
-        from ..core.size_opt import optimize_size
+            net = Mig()
+            variables = [net.add_pi(f"v{i}") for i in range(4)]
+            net.add_po(_synthesize_into(net, target, variables), "f")
+            optimize_size(net, effort=1)
+            candidates.append(_extract_program(net, output_neg))
+            optimize_depth(net, effort=1)
+            candidates.append(_extract_program(net, output_neg))
+        elif kind == "aig":
+            from ..aig.aig import Aig
+            from ..aig.balance import balance
 
-        optimize_size(net, effort=1)
-    else:
-        from ..aig.balance import balance
+            net = Aig()
+            variables = [net.add_pi(f"v{i}") for i in range(4)]
+            net.add_po(_synthesize_into(net, target, variables), "f")
+            candidates.append(_extract_program(net, output_neg))
+            candidates.append(_extract_program(balance(net), output_neg))
+        else:
+            raise ValueError(f"unknown database kind {kind!r}")
+    return candidates
 
-        balanced = balance(net)
-        if (balanced.num_gates, balanced.depth()) < (net.num_gates, net.depth()):
-            net = balanced
-    return net
+
+def _derive_structures(kind: str, table: int) -> Tuple[DbEntry, ...]:
+    """Derive a class's top-k list: the fast-tier candidates' Pareto front."""
+    return _pareto_front(_candidate_entries(kind, table))
 
 
 def _derive_structure(kind: str, table: int) -> DbEntry:
-    """Derive the class entry: best of the direct and complemented builds."""
-    best: Optional[DbEntry] = None
-    for output_neg in (False, True):
-        net = _build_candidate(kind, table ^ (_FULL if output_neg else 0))
-        entry = _extract_program(net, output_neg)
-        if best is None or (entry.size, entry.depth) < (best.size, best.depth):
-            best = entry
-    return best
+    """Derive only the size-best entry of a class (compat wrapper)."""
+    return _derive_structures(kind, table)[0]
+
+
+def _exact_enrich(
+    kind: str,
+    table: int,
+    front: Tuple[DbEntry, ...],
+    budget: int,
+    size_slack: int,
+) -> Tuple[DbEntry, ...]:
+    """Exact-tier enrichment of one class's front (budget-bounded).
+
+    Runs SAT-based exact synthesis *below* the fast tier's bounds only: a
+    size search capped at ``front[0].size - 1`` and a depth search capped
+    at ``front[-1].depth - 1`` (allowing ``size_slack`` extra gates).  An
+    UNSAT outcome proves the fast-tier entry optimal, an UNKNOWN (budget
+    exhausted) keeps it untouched — enrichment can only improve fronts.
+    """
+    from ..synth.exact import SAT as SYNTH_SAT
+    from ..synth.exact import synthesize_depth_optimal, synthesize_exact
+
+    extra: List[DbEntry] = []
+    best = front[0]
+    if best.size > 1:
+        result = synthesize_exact(
+            table, kind, max_gates=best.size - 1, budget=budget
+        )
+        if result.status == SYNTH_SAT:
+            extra.append(result.entry)
+    shallowest = front[-1] if not extra else _pareto_front(list(front) + extra)[-1]
+    if shallowest.depth > 1:
+        result = synthesize_depth_optimal(
+            table,
+            kind,
+            max_gates=shallowest.size + size_slack,
+            budget=budget,
+            max_depth=shallowest.depth - 1,
+        )
+        if result.status == SYNTH_SAT:
+            extra.append(result.entry)
+    if not extra:
+        return front
+    return _pareto_front(list(front) + extra)
 
 
 def _extract_program(net, output_neg: bool) -> DbEntry:

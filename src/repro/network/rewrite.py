@@ -25,6 +25,12 @@ leaves are still alive.
 MIG passes additionally bound the *level* of the replacement
 (``max_level_growth=0`` guarantees the network depth never increases,
 since a node's level can only influence its fanouts monotonically).
+With ``max_level_growth < 0`` the sweep runs in **depth mode**: every
+entry of the class's top-k list (the (size, depth) Pareto front from
+:func:`~repro.network.npn.get_structures`) is costed and the shallowest
+admissible replacement wins, with ``max_size_growth`` bounding how many
+extra nodes a depth-improving move may spend; area sweeps keep using the
+size-best entry only.
 
 Cut enumeration goes through the network's shared
 :class:`~repro.network.cuts.CutManager` by default, so interleaved sweeps
@@ -56,10 +62,11 @@ from ..core.signal import CONST_FALSE, make_signal
 from .cuts import CutManager, enumerate_cuts, mffc_nodes
 from .npn import (
     extend_table,
-    get_structure,
+    get_structures,
     invert_transform,
     npn_canonical,
     replay_structure,
+    structure_db_generation,
 )
 
 __all__ = ["cut_rewrite"]
@@ -72,6 +79,7 @@ def cut_rewrite(
     cut_limit: int = 8,
     allow_zero_gain: bool = False,
     max_level_growth: Optional[int] = None,
+    max_size_growth: int = 0,
     incremental: bool = True,
     manager: Optional[CutManager] = None,
 ) -> Dict[str, int]:
@@ -83,15 +91,39 @@ def cut_rewrite(
     engine's reuse counters.  ``incremental=False`` forces a from-scratch
     enumeration (the benchmark baseline); ``manager`` supplies an explicit
     :class:`CutManager` instead of the network's shared one.
+
+    ``max_level_growth < 0`` switches the sweep into depth mode: the
+    candidate ordering prefers the largest level drop (size gain breaks
+    ties), every entry of the class's top-k list is considered, and
+    ``max_size_growth`` extra nodes may be spent per move.  In area mode
+    (``max_level_growth`` ``None`` or ``>= 0``) ``max_size_growth`` is
+    ignored and only the size-best entry of each class is used.
     """
     if manager is None and incremental:
         manager = CutManager.for_network(net, k=k, cut_limit=cut_limit)
-    convergence_key = ("cut_rewrite", kind, k, cut_limit, allow_zero_gain, max_level_growth)
+    depth_mode = max_level_growth is not None and max_level_growth < 0
+    convergence_key = (
+        "cut_rewrite",
+        kind,
+        k,
+        cut_limit,
+        allow_zero_gain,
+        max_level_growth,
+        max_size_growth if depth_mode else 0,
+    )
     if manager is not None:
-        if manager.notes.get(convergence_key) == manager.generation:
-            # The exact same sweep ran at this mutation serial and applied
-            # nothing; the network is untouched since, so this sweep is the
-            # same no-op.
+        # The convergence token pairs the network's mutation serial with
+        # the structure database's generation: a no-op sweep only stays a
+        # no-op while *both* the network and the database it was decided
+        # against are unchanged.  (A DB swap — reset, re-derivation, top-k
+        # registration — may create rewrites where there were none.)
+        if manager.notes.get(convergence_key) == (
+            manager.generation,
+            structure_db_generation(),
+        ):
+            # The exact same sweep ran at this mutation serial against the
+            # same database and applied nothing; both are untouched since,
+            # so this sweep is the same no-op.
             return {
                 "rewrites": 0,
                 "zero_gain": 0,
@@ -122,7 +154,7 @@ def cut_rewrite(
     for root in order:
         if dead[root]:
             continue
-        best = None  # (gain, -est_level, entry, inputs)
+        best = None  # (candidate_key, gain, entry, inputs)
         for cut in cuts.get(root, ()):
             leaves = cut.leaves
             if len(leaves) == 1 and leaves[0] == root:
@@ -135,28 +167,37 @@ def cut_rewrite(
             if dead_leaf:
                 continue
             canonical, transform = npn_canonical(extend_table(cut.table, len(leaves)))
-            entry = get_structure(kind, canonical)
+            entries = get_structures(kind, canonical)
+            if not depth_mode:
+                # Area sweeps only ever want the size-best structure.
+                entries = entries[:1]
             inputs = _structure_inputs(leaves, transform)
             mffc = mffc_nodes(net, root, leaves)
-            limit = len(mffc) if allow_zero_gain else len(mffc) - 1
-            dry = _dry_run(net, entry, inputs, mffc, level, limit)
-            if dry is None:
-                continue
-            added, est_level, output_node = dry
-            if output_node == root:
-                continue  # the structure resolves to the node itself
-            gain = len(mffc) - added
-            if max_level_growth is not None and est_level > level[root] + max_level_growth:
-                continue
-            candidate = (gain, -est_level)
-            if best is None or candidate > (best[0], best[1]):
-                best = (gain, -est_level, entry, inputs)
+            if depth_mode:
+                limit = len(mffc) + max_size_growth
+            else:
+                limit = len(mffc) if allow_zero_gain else len(mffc) - 1
+            for entry in entries:
+                dry = _dry_run(net, entry, inputs, mffc, level, limit)
+                if dry is None:
+                    continue
+                added, est_level, output_node = dry
+                if output_node == root:
+                    continue  # the structure resolves to the node itself
+                gain = len(mffc) - added
+                if max_level_growth is not None and est_level > level[root] + max_level_growth:
+                    continue
+                candidate = (-est_level, gain) if depth_mode else (gain, -est_level)
+                if best is None or candidate > best[0]:
+                    best = (candidate, gain, entry, inputs)
         if best is None:
             continue
         # Every surviving candidate already meets the gain threshold: the
-        # dry-run's ``max_new`` bound rejects additions beyond len(mffc)
-        # (len(mffc) - 1 without zero-gain), so gain >= 0 (>= 1) here.
-        gain, _, entry, inputs = best
+        # dry-run's ``max_new`` bound rejects additions beyond the limit —
+        # len(mffc) (len(mffc) - 1 without zero-gain) in area mode, so
+        # gain >= 0 (>= 1) there; len(mffc) + max_size_growth in depth
+        # mode, where the level filter already guarantees a depth win.
+        _, gain, entry, inputs = best
         replacement = replay_structure(net, entry, inputs[:4]) ^ inputs[4]
         if (replacement >> 1) == root:
             continue
@@ -194,8 +235,13 @@ def cut_rewrite(
         # speculative replacement was allocated (an aborted substitute
         # would consume node ids and desynchronise the id stream from the
         # non-incremental path) — so an untouched network can skip the
-        # next identical sweep outright.
-        manager.notes[convergence_key] = manager.generation
+        # next identical sweep outright.  The database generation is
+        # sampled *after* the sweep: lazy derivations during the sweep are
+        # part of the database this no-op was decided against.
+        manager.notes[convergence_key] = (
+            manager.generation,
+            structure_db_generation(),
+        )
     return {
         "rewrites": applied,
         "zero_gain": zero_gain_applied,

@@ -159,6 +159,11 @@ def optimization_row(
             raise AssertionError(
                 f"{name}: optimized MIG NOT equivalent (method={check.method})"
             )
+        if not check.certified:
+            raise AssertionError(
+                f"{name}: optimized MIG NOT certified (budget-exhausted "
+                f"{check.method} is not a proof)"
+            )
         row["cec"] = {"equivalent": True, "method": check.method}
     return row
 
@@ -190,6 +195,10 @@ def rewrite_acceptance_row(name: str) -> dict:
         result = check_equivalence(first, second, num_random_vectors=512)
         if not result.equivalent:
             raise AssertionError(f"{label}: NOT equivalent ({result.method})")
+        if not result.certified:
+            raise AssertionError(
+                f"{label}: NOT certified (budget-exhausted {result.method})"
+            )
 
     start = time.time()
     # --- 1. AIG cut rewriting ----------------------------------------- #
@@ -208,7 +217,7 @@ def rewrite_acceptance_row(name: str) -> dict:
 
     # --- 3. mighty vs mighty + cut rewriting --------------------------- #
     algebraic = build_benchmark(name, Mig)
-    mighty_optimize(algebraic, rounds=1, depth_effort=1)
+    mighty_optimize(algebraic, rounds=1, depth_effort=1, boolean_rewrite=False)
     combined = build_benchmark(name, Mig)
     mighty_optimize(combined, rounds=1, depth_effort=1, boolean_rewrite=True)
     _check(combined, reference, f"{name}/mighty+rewrite")

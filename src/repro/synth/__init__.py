@@ -1,0 +1,32 @@
+"""SAT-based exact synthesis of small MIG/AIG structures.
+
+The in-house CDCL solver (:mod:`repro.verify.sat`) is strong enough to be
+a *synthesis* engine, not just a checker: :mod:`repro.synth.exact` encodes
+"there exists a network of at most N gates computing truth table f" as CNF
+and searches gate counts linearly, proving size optimality when every
+smaller count comes back UNSAT.  The derived programs feed the top-k NPN
+structure database (:mod:`repro.network.npn`), which is what gives
+depth-oriented cut rewriting real moves to make.
+"""
+
+from .exact import (
+    OPTIMAL,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    SynthesisResult,
+    enumerate_minimum_sizes,
+    synthesize_depth_optimal,
+    synthesize_exact,
+)
+
+__all__ = [
+    "OPTIMAL",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "SynthesisResult",
+    "enumerate_minimum_sizes",
+    "synthesize_depth_optimal",
+    "synthesize_exact",
+]

@@ -1,0 +1,724 @@
+"""Exact SAT-based synthesis of minimum MIG/AIG structures.
+
+This module turns the repository's CDCL solver (:mod:`repro.verify.sat`)
+into a synthesis engine in the classic Knuth exact-synthesis style (the
+formulation behind ABC's ``exact`` and mockturtle's ``exact_synthesis``):
+a CNF encoding of *"there exists a network of at most N gates over the
+given primary inputs computing truth table f"*, searched over N by a
+linear driver that proves size optimality when every smaller gate count
+comes back UNSAT.
+
+Encoding (one instance per gate count ``N``)
+--------------------------------------------
+For a function over ``n`` inputs (the table is first reduced to its true
+support) and ``N`` gates of arity ``r`` (3 for MIG/MAJ nodes, 2 for
+AIG/AND nodes):
+
+* **Selector variables** ``sel[i][o]``: gate ``i`` implements *option*
+  ``o``, where an option is a fanin tuple — ``r`` distinct operands drawn
+  from the inputs, the earlier gates, and (MIG only) the constant — plus a
+  per-operand complement mask.  MIG options are normalized to at most one
+  complemented operand (``MAJ(x', y', z') = MAJ(x, y, z)'`` pushes any
+  heavier mask to the output edge, which downstream complement edges
+  absorb), AIG options keep all four masks (an AND of complemented
+  literals is not the complement of an AND).  Each gate carries an
+  *at-least-one* clause over its selectors; an at-most-one constraint is
+  deliberately omitted — selecting two options simply forces the gate's
+  value to satisfy both, so any model still extracts to a correct
+  circuit, and the solver is free to not waste conflicts on exclusivity.
+* **Value variables** ``x[i][t]``: the output of gate ``i`` on input
+  minterm ``t``.  Operands that are inputs or constants fold to known
+  bits at encode time, so per-(option, minterm) semantics clauses
+  (``sel[i][o] → (x[i][t] ↔ MAJ/AND of the operand values)``) stay short:
+  6 clauses for a full majority, 3 for an AND, fewer after folding.
+* **Output**: gate ``N-1`` is the output root; a free polarity variable
+  ``q`` encodes ``x[N-1][t] XOR q = f(t)``.
+* **Symmetry / pruning clauses**: every gate except the root must be used
+  as a fanin of a later gate, and every (true-support) input must appear
+  as a fanin somewhere — both are sound for the linear-search driver
+  because a minimum-size circuit is dangling-free and reads its whole
+  support.
+* **Fences** (depth-optimal search): an optional level assignment
+  restricts gate ``i``'s operands to strictly lower levels and requires
+  one operand from the level directly below, so a satisfying instance
+  realises the fence's depth exactly; driver
+  :func:`synthesize_depth_optimal` enumerates the (few) level
+  compositions per ``(N, depth)``.
+
+Minterm constraints are installed lazily (CEGAR): an instance starts with
+no minterm constrained, every SAT model is *replayed against the full
+truth table* in plain python, and the first disagreeing minterm is added
+to the instance (the solver keeps its learned clauses across
+refinements).  UNSAT under a subset of minterms is UNSAT outright, which
+is what keeps the optimality chain cheap.
+
+Budget semantics
+----------------
+``budget`` is a total conflict budget for one driver call, spent across
+all gate counts, fences and CEGAR refinements.  When it runs out the
+driver returns status :data:`UNKNOWN`; a partial result is never
+presented as optimal — ``SynthesisResult.optimal`` is only ``True`` when
+every smaller gate count (or shallower fence set) was fully proved
+UNSAT.  Structures returned by either driver are always *valid* (their
+program replays to ``f`` — asserted before returning), whatever the
+optimality status.
+
+:func:`enumerate_minimum_sizes` is the independent brute-force oracle
+used by the test-suite: a breadth-first closure over sets of reachable
+functions (modulo output complement) whose layer of first appearance is
+the true minimum gate count — no SAT involved.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..network.npn import PROJECTIONS, DbEntry, entry_truth_table
+from ..verify.sat import SAT as _SAT_VERDICT
+from ..verify.sat import UNSAT as _UNSAT_VERDICT
+from ..verify.sat import SatSolver
+
+__all__ = [
+    "OPTIMAL",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "SynthesisResult",
+    "enumerate_minimum_sizes",
+    "synthesize_depth_optimal",
+    "synthesize_exact",
+]
+
+#: Driver verdicts.  ``SAT`` carries a valid structure; it is additionally
+#: ``OPTIMAL`` when the whole chain below it was proved UNSAT.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+OPTIMAL = "optimal"
+
+_FULL = 0xFFFF
+
+#: Gate arity per structure kind (mirrors the NPN database kinds).
+_KIND_ARITY = {"mig": 3, "aig": 2}
+
+#: Default linear-search ceilings.  Every 4-input NPN class is known to
+#: fit comfortably below these (the Shannon-decomposition database already
+#: proves constructive upper bounds well inside them).
+_DEFAULT_MAX_GATES = {"mig": 7, "aig": 10}
+
+
+class SynthesisResult(NamedTuple):
+    """Outcome of one exact-synthesis driver call.
+
+    ``status`` is :data:`SAT` / :data:`UNSAT` / :data:`UNKNOWN`;
+    ``entry`` is the synthesized program (``None`` unless SAT), expressed
+    in the :class:`~repro.network.npn.DbEntry` convention over the four
+    abstract NPN inputs; ``optimal`` claims minimality (size for
+    :func:`synthesize_exact`, depth-then-size for
+    :func:`synthesize_depth_optimal`) and is only set when every smaller
+    candidate was *proved* infeasible within budget.
+    """
+
+    status: str
+    entry: Optional[DbEntry]
+    optimal: bool
+    gates: Optional[int]
+    depth: Optional[int]
+    conflicts: int
+    solve_calls: int
+    wall_s: float
+
+
+def _support(table: int) -> Tuple[int, ...]:
+    """Variables (in the 4-input space) the table actually depends on."""
+    table &= _FULL
+    support = []
+    for i in range(4):
+        shift = 1 << i
+        hi = table & PROJECTIONS[i]
+        lo = table & (PROJECTIONS[i] ^ _FULL)
+        if (lo | (lo << shift)) != (hi | (hi >> shift)):
+            support.append(i)
+    return tuple(support)
+
+
+def _compact_table(table: int, support: Sequence[int]) -> int:
+    """Project ``table`` onto its support: an ``2^len(support)``-bit table."""
+    compact = 0
+    for t in range(1 << len(support)):
+        minterm = 0
+        for j, var in enumerate(support):
+            if (t >> j) & 1:
+                minterm |= 1 << var
+        if (table >> minterm) & 1:
+            compact |= 1 << t
+    return compact
+
+
+# --------------------------------------------------------------------- #
+# CNF instance for one (kind, n, N[, fence])
+# --------------------------------------------------------------------- #
+class _Instance:
+    """CNF for "an ``N``-gate ``kind`` network over ``n`` inputs computes f".
+
+    Operand ids: ``-1`` the constant (MIG only), ``0..n-1`` the inputs,
+    ``n+j`` gate ``j``.  ``levels`` (optional fence) maps each gate to a
+    1-based level; inputs sit at level 0.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        table: int,
+        num_inputs: int,
+        num_gates: int,
+        levels: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.kind = kind
+        self.arity = _KIND_ARITY[kind]
+        self.table = table
+        self.n = num_inputs
+        self.num_gates = num_gates
+        self.levels = tuple(levels) if levels is not None else None
+        self.solver = SatSolver()
+        self.options: List[List[Tuple[Tuple[int, ...], int]]] = []
+        self.sel: List[List[int]] = []
+        self.value: Dict[Tuple[int, int], int] = {}
+        self.active: List[int] = []
+        self.out_neg = self.solver.new_var()
+        self._build_skeleton()
+
+    # -- structure ---------------------------------------------------- #
+    def _operand_level(self, ref: int) -> int:
+        if ref < self.n:
+            return 0  # inputs and the constant
+        return self.levels[ref - self.n]
+
+    def _gate_options(self, i: int) -> List[Tuple[Tuple[int, ...], int]]:
+        refs = list(range(self.n + i))
+        if self.levels is not None:
+            my_level = self.levels[i]
+            refs = [r for r in refs if self._operand_level(r) < my_level]
+        options: List[Tuple[Tuple[int, ...], int]] = []
+        if self.kind == "mig":
+            # Triples of distinct operands, optionally one constant slot;
+            # complement masks normalized to at most one complemented
+            # operand (the constant's mask bit selects const-1).
+            pools = [combinations(refs, 3)]
+            pools.append(((-1,) + pair for pair in combinations(refs, 2)))
+            for pool in pools:
+                for ops in pool:
+                    for neg in (0, 1, 2, 4):
+                        options.append((tuple(ops), neg))
+        else:
+            for ops in combinations(refs, 2):
+                for neg in (0, 1, 2, 3):
+                    options.append((ops, neg))
+        if self.levels is not None:
+            below = self.levels[i] - 1
+            options = [
+                (ops, neg)
+                for ops, neg in options
+                if any(o >= 0 and self._operand_level(o) == below for o in ops)
+                or below == 0
+                and any(o >= 0 and o < self.n for o in ops)
+            ]
+        return options
+
+    def _build_skeleton(self) -> None:
+        solver = self.solver
+        add = solver.add_clause
+        for i in range(self.num_gates):
+            opts = self._gate_options(i)
+            self.options.append(opts)
+            sel_vars = [solver.new_var() for _ in opts]
+            self.sel.append(sel_vars)
+            add([v << 1 for v in sel_vars])  # at least one option
+        # Every non-root gate feeds a later gate; every input is read.
+        for used in range(self.num_gates - 1):
+            ref = self.n + used
+            lits = [
+                self.sel[j][oi] << 1
+                for j in range(used + 1, self.num_gates)
+                for oi, (ops, _neg) in enumerate(self.options[j])
+                if ref in ops
+            ]
+            add(lits)
+        for var in range(self.n):
+            lits = [
+                self.sel[j][oi] << 1
+                for j in range(self.num_gates)
+                for oi, (ops, _neg) in enumerate(self.options[j])
+                if var in ops
+            ]
+            add(lits)
+
+    # -- lazy minterm constraints -------------------------------------- #
+    def activate_minterm(self, t: int) -> None:
+        """Install the semantics and output constraints of minterm ``t``."""
+        if any(t == seen for seen in self.active):
+            return
+        self.active.append(t)
+        solver = self.solver
+        for i in range(self.num_gates):
+            self.value[(i, t)] = solver.new_var()
+        add = solver.add_clause
+        for i in range(self.num_gates):
+            x = self.value[(i, t)]
+            for oi, (ops, neg) in enumerate(self.options[i]):
+                nsel = (self.sel[i][oi] << 1) | 1
+                vals = []
+                for pos, ref in enumerate(ops):
+                    negated = (neg >> pos) & 1
+                    if ref == -1:
+                        vals.append(("c", negated))
+                    elif ref < self.n:
+                        vals.append(("c", ((t >> ref) & 1) ^ negated))
+                    else:
+                        vals.append(
+                            ("l", (self.value[(ref - self.n, t)] << 1) | negated)
+                        )
+                if self.arity == 2:
+                    self._and_clauses(add, nsel, x, vals)
+                else:
+                    self._maj_clauses(add, nsel, x, vals)
+        # Output: x[N-1][t] XOR out_neg == f(t).
+        x = self.value[(self.num_gates - 1, t)]
+        q = self.out_neg
+        if (self.table >> t) & 1:
+            add([x << 1, q << 1])
+            add([(x << 1) | 1, (q << 1) | 1])
+        else:
+            add([(x << 1) | 1, q << 1])
+            add([x << 1, (q << 1) | 1])
+
+    @staticmethod
+    def _and_clauses(add, nsel: int, x: int, vals) -> None:
+        lits = []
+        for kind, payload in vals:
+            if kind == "c":
+                if payload == 0:
+                    add([nsel, (x << 1) | 1])  # an operand is 0: x = 0
+                    return
+            else:
+                lits.append(payload)
+        if not lits:
+            add([nsel, x << 1])  # all operands constant 1: x = 1
+            return
+        for lit in lits:
+            add([nsel, (x << 1) | 1, lit])
+        add([nsel, x << 1] + [lit ^ 1 for lit in lits])
+
+    @staticmethod
+    def _maj_clauses(add, nsel: int, x: int, vals) -> None:
+        # x <-> MAJ(v1, v2, v3): for every pair, both-true forces x and
+        # both-false forbids it; constants fold at encode time.
+        for a in range(3):
+            for b in range(a + 1, 3):
+                pair = (vals[a], vals[b])
+                # (pair true) -> x
+                clause = [nsel, x << 1]
+                satisfied = False
+                for kind, payload in pair:
+                    if kind == "c":
+                        if payload == 0:
+                            satisfied = True  # antecedent false
+                            break
+                    else:
+                        clause.append(payload ^ 1)
+                if not satisfied:
+                    add(clause)
+                # (pair false) -> not x
+                clause = [nsel, (x << 1) | 1]
+                satisfied = False
+                for kind, payload in pair:
+                    if kind == "c":
+                        if payload == 1:
+                            satisfied = True
+                            break
+                    else:
+                        clause.append(payload)
+                if not satisfied:
+                    add(clause)
+
+    # -- model extraction ---------------------------------------------- #
+    def extract(self) -> Tuple[List[Tuple[Tuple[int, ...], int]], int]:
+        """Chosen (operands, neg) per gate plus the output polarity."""
+        solver = self.solver
+        chosen = []
+        for i in range(self.num_gates):
+            pick = None
+            for oi, option in enumerate(self.options[i]):
+                if solver.model_value(self.sel[i][oi] << 1):
+                    pick = option
+                    break
+            assert pick is not None, "at-least-one clause violated"
+            chosen.append(pick)
+        return chosen, 1 if solver.model_value(self.out_neg << 1) else 0
+
+    def evaluate(self, chosen, out_neg: int) -> int:
+        """Truth table of an extracted candidate over all ``2^n`` minterms."""
+        width = 1 << self.n
+        mask = (1 << width) - 1
+        tables = []
+        for var in range(self.n):
+            column = 0
+            for t in range(width):
+                if (t >> var) & 1:
+                    column |= 1 << t
+            tables.append(column)
+        gate_tables: List[int] = []
+        for ops, neg in chosen:
+            vals = []
+            for pos, ref in enumerate(ops):
+                if ref == -1:
+                    val = mask if (neg >> pos) & 1 else 0
+                else:
+                    val = tables[ref] if ref < self.n else gate_tables[ref - self.n]
+                    if (neg >> pos) & 1:
+                        val ^= mask
+                vals.append(val)
+            if self.arity == 2:
+                gate_tables.append(vals[0] & vals[1])
+            else:
+                a, b, c = vals
+                gate_tables.append((a & b) | (a & c) | (b & c))
+        result = gate_tables[-1]
+        if out_neg:
+            result ^= mask
+        return result & mask
+
+
+def _entry_from_chosen(
+    chosen, out_neg: int, support: Sequence[int]
+) -> DbEntry:
+    """Map an extracted candidate onto the :class:`DbEntry` convention.
+
+    Instance operand ids are rebased onto the four abstract NPN inputs
+    through ``support`` (instance input ``j`` is abstract input
+    ``support[j]``); depth is the structural program depth with inputs at
+    level 0 (constant fanins do not contribute).
+    """
+    n = len(support)
+    ops_out: List[Tuple[int, ...]] = []
+    depth_of: List[int] = []
+    for ops, neg in chosen:
+        literals = []
+        level = 0
+        for pos, ref in enumerate(ops):
+            negated = (neg >> pos) & 1
+            if ref == -1:
+                literals.append(negated)  # const literal: ref 0
+            elif ref < n:
+                literals.append(((1 + support[ref]) << 1) | negated)
+            else:
+                gate = ref - n
+                literals.append(((5 + gate) << 1) | negated)
+                level = max(level, depth_of[gate])
+        ops_out.append(tuple(literals))
+        depth_of.append(level + 1)
+    output = ((5 + len(ops_out) - 1) << 1) | out_neg
+    return DbEntry(tuple(ops_out), output, len(ops_out), depth_of[-1])
+
+
+def _trivial_entry(table: int) -> Optional[DbEntry]:
+    """Zero-gate entry for constants and (possibly complemented) literals."""
+    table &= _FULL
+    if table == 0:
+        return DbEntry((), 0, 0, 0)
+    if table == _FULL:
+        return DbEntry((), 1, 0, 0)
+    for i in range(4):
+        if table == PROJECTIONS[i]:
+            return DbEntry((), (1 + i) << 1, 0, 0)
+        if table == PROJECTIONS[i] ^ _FULL:
+            return DbEntry((), ((1 + i) << 1) | 1, 0, 0)
+    return None
+
+
+class _Budget:
+    """Shared conflict budget across one driver call."""
+
+    def __init__(self, total: Optional[int]) -> None:
+        self.total = total
+        self.spent = 0
+        self.solve_calls = 0
+
+    def solve(self, instance: _Instance) -> str:
+        solver = instance.solver
+        before = solver.num_conflicts
+        limit = None
+        if self.total is not None:
+            remaining = self.total - self.spent
+            if remaining <= 0:
+                return UNKNOWN
+            limit = remaining
+        self.solve_calls += 1
+        verdict = solver.solve(max_conflicts=limit)
+        self.spent += solver.num_conflicts - before
+        if verdict == _SAT_VERDICT:
+            return SAT
+        if verdict == _UNSAT_VERDICT:
+            return UNSAT
+        return UNKNOWN
+
+
+def _solve_instance(instance: _Instance, budget: _Budget) -> Tuple[str, Optional[DbEntry]]:
+    """CEGAR loop: solve, replay the model, refine, until convergence."""
+    width = 1 << instance.n
+    while True:
+        verdict = budget.solve(instance)
+        if verdict != SAT:
+            return verdict, None
+        chosen, out_neg = instance.extract()
+        realized = instance.evaluate(chosen, out_neg)
+        if realized == instance.table & ((1 << width) - 1):
+            return SAT, (chosen, out_neg)
+        mismatch = realized ^ (instance.table & ((1 << width) - 1))
+        instance.activate_minterm((mismatch & -mismatch).bit_length() - 1)
+
+
+def _size_lower_bound(kind: str, support_size: int) -> int:
+    """Connectivity bound: r-ary gates add at most r-1 to the read set."""
+    if support_size <= 1:
+        return 0
+    arity = _KIND_ARITY[kind]
+    return max(1, -(-(support_size - 1) // (arity - 1)))
+
+
+def synthesize_exact(
+    table: int,
+    kind: str,
+    max_gates: Optional[int] = None,
+    budget: Optional[int] = 50_000,
+) -> SynthesisResult:
+    """Minimum-size synthesis of ``table`` (a 16-bit 4-input truth table).
+
+    Searches gate counts linearly from the connectivity lower bound up to
+    ``max_gates``; the first SAT count yields the structure.  ``optimal``
+    is claimed only when every smaller count was proved UNSAT — a budget
+    exhaustion anywhere collapses the call to status :data:`UNKNOWN`
+    (never a silently non-minimal "optimum").  ``budget`` is the total
+    conflict budget of the call (``None`` = unbounded).
+    """
+    start = time.perf_counter()
+    if kind not in _KIND_ARITY:
+        raise ValueError(f"unknown structure kind {kind!r}")
+    table &= _FULL
+    if max_gates is None:
+        max_gates = _DEFAULT_MAX_GATES[kind]
+    trivial = _trivial_entry(table)
+    if trivial is not None:
+        return SynthesisResult(
+            SAT, trivial, True, 0, 0, 0, 0, time.perf_counter() - start
+        )
+    support = _support(table)
+    compact = _compact_table(table, support)
+    shared = _Budget(budget)
+    for num_gates in range(_size_lower_bound(kind, len(support)), max_gates + 1):
+        if num_gates == 0:
+            continue
+        instance = _Instance(kind, compact, len(support), num_gates)
+        verdict, model = _solve_instance(instance, shared)
+        if verdict == UNKNOWN:
+            return SynthesisResult(
+                UNKNOWN, None, False, None, None, shared.spent,
+                shared.solve_calls, time.perf_counter() - start,
+            )
+        if verdict == SAT:
+            chosen, out_neg = model
+            entry = _entry_from_chosen(chosen, out_neg, support)
+            assert entry_truth_table(entry) == table, (
+                "exact synthesis produced a non-replaying program"
+            )
+            return SynthesisResult(
+                SAT, entry, True, entry.size, entry.depth, shared.spent,
+                shared.solve_calls, time.perf_counter() - start,
+            )
+    return SynthesisResult(
+        UNSAT, None, False, None, None, shared.spent, shared.solve_calls,
+        time.perf_counter() - start,
+    )
+
+
+def _fences(num_gates: int, depth: int) -> Iterable[Tuple[int, ...]]:
+    """Level assignments: ``num_gates`` gates over ``depth`` levels.
+
+    Levels are non-decreasing over the gate order (any DAG admits such a
+    topological numbering), every level is populated, and the top level
+    holds exactly the output root.
+    """
+    if depth == 1:
+        if num_gates == 1:
+            yield (1,)
+        return
+    # Compositions of (num_gates - 1) gates into (depth - 1) non-empty
+    # lower levels; the root sits alone at the top level.
+    lower = num_gates - 1
+    parts = depth - 1
+    if lower < parts:
+        return
+
+    def compositions(total: int, slots: int):
+        if slots == 1:
+            yield (total,)
+            return
+        for first in range(1, total - slots + 2):
+            for rest in compositions(total - first, slots - 1):
+                yield (first,) + rest
+
+    for shape in compositions(lower, parts):
+        levels: List[int] = []
+        for level, count in enumerate(shape, start=1):
+            levels.extend([level] * count)
+        levels.append(depth)
+        yield tuple(levels)
+
+
+def _depth_lower_bound(kind: str, support_size: int) -> int:
+    if support_size <= 1:
+        return 0
+    arity = _KIND_ARITY[kind]
+    depth = 1
+    reach = arity
+    while reach < support_size:
+        reach *= arity
+        depth += 1
+    return depth
+
+
+def synthesize_depth_optimal(
+    table: int,
+    kind: str,
+    max_gates: Optional[int] = None,
+    budget: Optional[int] = 50_000,
+    max_depth: int = 5,
+) -> SynthesisResult:
+    """Minimum-depth (then minimum-size at that depth) synthesis.
+
+    Iterates depth from the fan-in lower bound upward; for each depth,
+    gate counts ascend and every *fence* (level composition) of the pair
+    is tried, so the first SAT hit is depth-minimal and size-minimal
+    within that depth (up to ``max_gates``).  The optimality flag follows
+    the same rule as :func:`synthesize_exact`: any budget exhaustion in
+    the chain downgrades the result to :data:`UNKNOWN`.
+    """
+    start = time.perf_counter()
+    if kind not in _KIND_ARITY:
+        raise ValueError(f"unknown structure kind {kind!r}")
+    table &= _FULL
+    if max_gates is None:
+        max_gates = _DEFAULT_MAX_GATES[kind]
+    trivial = _trivial_entry(table)
+    if trivial is not None:
+        return SynthesisResult(
+            SAT, trivial, True, 0, 0, 0, 0, time.perf_counter() - start
+        )
+    support = _support(table)
+    compact = _compact_table(table, support)
+    shared = _Budget(budget)
+    size_lb = max(1, _size_lower_bound(kind, len(support)))
+    for depth in range(max(1, _depth_lower_bound(kind, len(support))), max_depth + 1):
+        for num_gates in range(max(size_lb, depth), max_gates + 1):
+            for levels in _fences(num_gates, depth):
+                instance = _Instance(kind, compact, len(support), num_gates, levels)
+                verdict, model = _solve_instance(instance, shared)
+                if verdict == UNKNOWN:
+                    return SynthesisResult(
+                        UNKNOWN, None, False, None, None, shared.spent,
+                        shared.solve_calls, time.perf_counter() - start,
+                    )
+                if verdict == SAT:
+                    chosen, out_neg = model
+                    entry = _entry_from_chosen(chosen, out_neg, support)
+                    assert entry_truth_table(entry) == table, (
+                        "exact synthesis produced a non-replaying program"
+                    )
+                    assert entry.depth <= depth
+                    return SynthesisResult(
+                        SAT, entry, True, entry.size, entry.depth, shared.spent,
+                        shared.solve_calls, time.perf_counter() - start,
+                    )
+    return SynthesisResult(
+        UNSAT, None, False, None, None, shared.spent, shared.solve_calls,
+        time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Brute-force oracle (independent of the SAT engine)
+# --------------------------------------------------------------------- #
+def enumerate_minimum_sizes(
+    kind: str, num_vars: int, max_gates: int
+) -> Dict[int, int]:
+    """True minimum gate counts by breadth-first reachability.
+
+    Returns ``{canonical_table: minimum gates}`` over ``num_vars``-input
+    functions, where tables are canonicalized modulo output complement
+    (complement edges make ``f`` and ``f'`` the same cost) and expressed
+    over ``2^num_vars`` bits.  Layer ``g`` of the search holds every set
+    of gate functions reachable with ``g`` gates; a function's first
+    layer of appearance is exactly its minimum circuit size, because a
+    ``g``-gate circuit is precisely a ``g``-step path in this state
+    graph.  Exponential in ``max_gates`` — intended for the ≤3-variable
+    optimality cross-checks of the test-suite, not for production use.
+    """
+    if kind not in _KIND_ARITY:
+        raise ValueError(f"unknown structure kind {kind!r}")
+    arity = _KIND_ARITY[kind]
+    width = 1 << num_vars
+    mask = (1 << width) - 1
+
+    def canon(f: int) -> int:
+        return min(f, f ^ mask)
+
+    inputs = []
+    for var in range(num_vars):
+        column = 0
+        for t in range(width):
+            if (t >> var) & 1:
+                column |= 1 << t
+        inputs.append(column)
+
+    minimum: Dict[int, int] = {0: 0}
+    for column in inputs:
+        minimum[canon(column)] = 0
+
+    def successors(avail: Tuple[int, ...]) -> Iterable[int]:
+        # Operand literals: every available function and its complement.
+        literals = []
+        for f in avail:
+            literals.append(f)
+            literals.append(f ^ mask)
+        results = set()
+        if arity == 2:
+            for a_i in range(len(literals)):
+                for b_i in range(a_i + 1, len(literals)):
+                    results.add(canon(literals[a_i] & literals[b_i]))
+        else:
+            for a_i in range(len(literals)):
+                a = literals[a_i]
+                for b_i in range(a_i + 1, len(literals)):
+                    b = literals[b_i]
+                    ab = a & b
+                    a_or_b = a | b
+                    for c_i in range(b_i + 1, len(literals)):
+                        c = literals[c_i]
+                        results.add(canon(ab | (c & a_or_b)))
+        return results
+
+    # Available operands: const 0 plus the input projections (canonical).
+    base = tuple(sorted({0} | {canon(c) for c in inputs}))
+    frontier = {base}
+    for gates in range(1, max_gates + 1):
+        next_frontier = set()
+        for state in frontier:
+            for f in successors(state):
+                if f not in minimum:
+                    minimum[f] = gates
+                if f not in state:
+                    next_frontier.add(tuple(sorted(set(state) | {f})))
+        frontier = next_frontier
+    return minimum

@@ -96,12 +96,24 @@ class CounterexampleError(RuntimeError):
 
 @dataclass(frozen=True)
 class EquivalenceResult:
-    """Outcome of an equivalence check."""
+    """Outcome of an equivalence check.
+
+    ``certified`` distinguishes a *proof* from a mere failure to refute:
+    it is ``True`` for complete backends (exhaustive, BDD, an in-budget
+    SAT sweep) and for every refutation (counterexamples are replayed
+    before being returned), but ``False`` when an ``equivalent=True``
+    verdict only means "random simulation found no mismatch" — notably
+    the auto dispatch's best-effort answer after the SAT sweep exhausted
+    its conflict budget.  Consumers that certify anything (pipeline
+    self-verification, window certification, CEC rows) must reject
+    uncertified verdicts rather than treat them as a pass.
+    """
 
     equivalent: bool
     method: str
     counterexample: Optional[List[bool]] = None
     failing_output: Optional[int] = None
+    certified: bool = True
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.equivalent
@@ -182,18 +194,31 @@ def check_equivalence(
     if use_bdd:
         return _validated(first, second, _check_bdd(first, second))
     # SAT budget exhausted, no BDD fallback requested: best effort is the
-    # (incomplete) random verdict.
+    # (incomplete) random verdict — its ``certified=False`` is what tells
+    # certifying consumers this is *not* a proof.
     return result
 
 
 def assert_equivalent(first, second, **kwargs) -> None:
-    """Raise ``AssertionError`` with a readable message if not equivalent."""
+    """Raise ``AssertionError`` with a readable message if not equivalent.
+
+    An *uncertified* all-clear (the auto dispatch ran out of SAT budget
+    and fell back to random simulation) also raises — unless the caller
+    explicitly asked for the random backend, in which case the sampling
+    verdict is exactly what was requested.
+    """
     result = check_equivalence(first, second, **kwargs)
     if not result.equivalent:
         raise AssertionError(
             "networks are NOT equivalent "
             f"(method={result.method}, output index={result.failing_output}, "
             f"counterexample={result.counterexample})"
+        )
+    if not result.certified and kwargs.get("method", "auto") != "random":
+        raise AssertionError(
+            "equivalence NOT certified: the complete backends ran out of "
+            f"budget and only {result.method} found no mismatch — raise the "
+            "budget via sat_options or pass use_bdd=True"
         )
 
 
@@ -313,7 +338,9 @@ def _check_random(
                 counterexample=counterexample,
                 failing_output=index,
             )
-    return EquivalenceResult(equivalent=True, method=method)
+    # Random simulation proves nothing: an all-clear is explicitly not a
+    # certificate (refutations above are, once validated).
+    return EquivalenceResult(equivalent=True, method=method, certified=False)
 
 
 def _check_sat_sweep(

@@ -117,12 +117,26 @@ class TestVerifyHook:
 
         def checker(reference, network):
             calls.append((reference.num_gates, network.num_gates))
-            return check_equivalence(reference, network, method="random")
+            return check_equivalence(reference, network, method="exhaustive")
 
         mig = small_mig()
         result = Pipeline([Eliminate()], verify=checker).run(mig)
         assert len(calls) == 1
-        assert result.passes[0].details["verify"]["method"] == "random-simulation"
+        assert result.passes[0].details["verify"]["method"] == "exhaustive"
+
+    def test_uncertified_verifier_verdict_is_rejected(self):
+        """A verifier that can only say "random simulation found nothing"
+        has not certified the pass — the pipeline must refuse to continue,
+        exactly like a proven mismatch."""
+
+        def checker(reference, network):
+            return check_equivalence(reference, network, method="random")
+
+        mig = small_mig()
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline([Eliminate()], verify=checker).run(mig)
+        assert "NOT be certified" in str(excinfo.value)
+        assert excinfo.value.result.equivalent is True
 
     def test_composite_passes_are_verified_as_a_unit(self):
         mig = small_mig()

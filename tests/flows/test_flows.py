@@ -42,7 +42,7 @@ class TestMightyFlow:
     def test_boolean_rewrite_never_worse_than_algebraic(self, name):
         """mighty + cut rewriting dominates the purely algebraic flow."""
         algebraic = build_benchmark(name, Mig)
-        mighty_optimize(algebraic, rounds=1, depth_effort=1)
+        mighty_optimize(algebraic, rounds=1, depth_effort=1, boolean_rewrite=False)
         combined = build_benchmark(name, Mig)
         reference = build_benchmark(name, Mig)
         result = mighty_optimize(

@@ -73,9 +73,10 @@ def test_semantically_wrong_entry_is_rejected(cache_dir):
     flush_structure_cache()
     path = structure_cache_path("mig")
     payload = json.loads(path.read_text(encoding="utf-8"))
-    # Flip the recorded output polarity: the program no longer computes the
-    # class function, so validation must discard it and re-derive.
-    payload["entries"][str(table)]["output"] ^= 1
+    # Flip the recorded output polarity of the class's first entry: the
+    # program no longer computes the class function, so validation must
+    # discard the class's whole list and re-derive it.
+    payload["entries"][str(table)][0]["output"] ^= 1
     path.write_text(json.dumps(payload), encoding="utf-8")
     reset_structure_db()
     assert get_structure("mig", table) == fresh
@@ -91,12 +92,14 @@ def test_wrong_arity_entry_is_rejected(cache_dir):
     flush_structure_cache()
     path = structure_cache_path("aig")
     payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["entries"][str(table)] = {
-        "ops": [list(op) for op in mig_entry.ops],
-        "output": mig_entry.output,
-        "size": mig_entry.size,
-        "depth": mig_entry.depth,
-    }
+    payload["entries"][str(table)] = [
+        {
+            "ops": [list(op) for op in mig_entry.ops],
+            "output": mig_entry.output,
+            "size": mig_entry.size,
+            "depth": mig_entry.depth,
+        }
+    ]
     path.write_text(json.dumps(payload), encoding="utf-8")
     reset_structure_db()
     assert get_structure("aig", table) == fresh_aig
@@ -133,12 +136,14 @@ def test_validation_rejects_non_canonical_keys(cache_dir):
     # Inject an entry under a non-canonical key: it must be ignored (the
     # canonical map would never look it up, and trusting it would poison
     # `_DB` for lookups that bypass canonicalization).
-    payload["entries"]["12345"] = {
-        "ops": [],
-        "output": 2,
-        "size": 0,
-        "depth": 0,
-    }
+    payload["entries"]["12345"] = [
+        {
+            "ops": [],
+            "output": 2,
+            "size": 0,
+            "depth": 0,
+        }
+    ]
     path.write_text(json.dumps(payload), encoding="utf-8")
     reset_structure_db()
     from repro.network.npn import _DB, _load_structure_cache

@@ -236,7 +236,7 @@ class TestParallelNpnDerivation:
             # Spot-check one shard's worth of classes against fresh serial
             # derivations (the full 222 would re-derive everything twice).
             for rep in npn.npn_representatives()[:24]:
-                assert npn._DB[("mig", rep)] == npn._derive_structure("mig", rep)
+                assert npn._DB[("mig", rep)] == npn._derive_structures("mig", rep)
             # The merged database was written through the disk cache: a
             # reset + reload round-trips every entry without deriving.
             derived = {
@@ -244,7 +244,7 @@ class TestParallelNpnDerivation:
             }
             npn.reset_structure_db()
             for rep in npn.npn_representatives():
-                assert npn.get_structure("mig", rep) == derived[("mig", rep)]
+                assert npn.get_structures("mig", rep) == derived[("mig", rep)]
         finally:
             npn.reset_structure_db()  # drop tmp-cache state for later tests
 

@@ -1,0 +1,88 @@
+"""Uncertified all-clears must never pass as certification.
+
+The bugfix contract: an ``EquivalenceResult`` whose ``certified`` flag is
+false (the complete backends ran out of budget, or the caller picked the
+random backend) means "no mismatch found", *not* "proven equivalent" —
+and every certifying consumer (``assert_equivalent``, the flow engine's
+verify hook, window certification in the partitioned flow) must reject
+it exactly like a proven mismatch.  Each test here forces the uncertified
+path with a starved budget (or the explicitly sampling backend) and
+asserts the rejection.
+"""
+
+import pytest
+
+from repro.flows.batch import optimize_large
+from repro.flows.mighty import mighty_optimize
+from repro.flows.partitioned import partitioned_rewrite
+from repro.verify.equivalence import assert_equivalent, check_equivalence
+
+#: SAT-sweep options guaranteed to exhaust on any non-trivial miter.
+_STARVED = {
+    "merge_conflict_budget": 1,
+    "output_conflict_budget": 1,
+    "initial_patterns": 8,
+    "max_refinements": 2,
+}
+
+
+def _wide_pair(forge):
+    """An (original, optimized) pair too wide for exhaustive simulation,
+    restructured enough that a starved SAT sweep cannot prove it."""
+    net = forge(kind="mig", num_pis=20, num_gates=120, num_pos=4, seed=3)
+    opt = net.copy()
+    mighty_optimize(opt, rounds=1, depth_effort=1)
+    assert opt.num_gates < net.num_gates
+    return net, opt
+
+
+def test_budget_exhausted_auto_dispatch_is_uncertified(network_forge):
+    net, opt = _wide_pair(network_forge)
+    result = check_equivalence(net, opt, sat_options=_STARVED)
+    assert result.equivalent is True
+    assert result.method == "random-simulation"
+    assert result.certified is False
+
+
+def test_random_backend_is_always_uncertified(network_forge):
+    net = network_forge(kind="mig", num_pis=6, num_gates=20, num_pos=2, seed=5)
+    result = check_equivalence(net, net.copy(), method="random")
+    assert result.equivalent is True and result.certified is False
+    # Complete backends certify.
+    assert check_equivalence(net, net.copy(), method="exhaustive").certified is True
+
+
+def test_assert_equivalent_rejects_uncertified_verdict(network_forge):
+    net, opt = _wide_pair(network_forge)
+    with pytest.raises(AssertionError, match="NOT certified"):
+        assert_equivalent(net, opt, sat_options=_STARVED)
+    # An explicitly requested sampling check is exactly what the caller
+    # asked for — no certification claim, no rejection.
+    assert_equivalent(net, opt, method="random")
+
+
+def test_partitioned_rewrite_rejects_uncertified_window(network_forge):
+    net = network_forge(kind="mig", num_pis=12, num_gates=120, num_pos=4, seed=3)
+    with pytest.raises(RuntimeError, match="NOT be certified"):
+        partitioned_rewrite(
+            net.copy(),
+            max_window_gates=60,
+            workers=1,
+            certify_options={"method": "random"},
+        )
+
+
+def test_optimize_large_threads_certify_options(network_forge):
+    net = network_forge(kind="mig", num_pis=12, num_gates=120, num_pos=4, seed=3)
+    with pytest.raises(RuntimeError, match="NOT be certified"):
+        optimize_large(
+            net.copy(),
+            max_window_gates=60,
+            workers=1,
+            certify_options={"method": "random"},
+        )
+    # With a real (certifying) budget the same call goes through.
+    result = optimize_large(net.copy(), max_window_gates=60, workers=1)
+    assert result.details["certified_windows"] == result.details["windows"]
+    for verdict in (r["certified"] for r in result.details["per_window"]):
+        assert verdict["certified"] is True
