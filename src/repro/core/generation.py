@@ -18,6 +18,7 @@ __all__ = [
     "random_aoig_mig",
     "random_network",
     "mutate_network",
+    "rebuild_shuffled",
     "mig_from_truth_tables",
 ]
 
@@ -177,6 +178,62 @@ def random_network(
     for index, sig in enumerate(chosen):
         net.add_po(sig, f"y{index}")
     return net
+
+
+def rebuild_shuffled(network, seed: int = 1):
+    """Rebuild the PO-reachable cone in a seeded random topological order.
+
+    Returns a new network of the same class computing the same DAG —
+    same PI/PO names and order, same gate fanin structure and complement
+    bits — but with gates *created* in a different (uniformly drawn
+    among valid) topological order, so raw node ids generally differ.
+    The fuzz counterpart of the service cache-key contract: the rebuilt
+    network must hit the same
+    :func:`repro.parallel.corpus.canonical_fingerprint` (content
+    address) while its id-exact
+    :func:`~repro.parallel.corpus.structural_fingerprint` drifts.
+    """
+    rng = random.Random(seed)
+    clone = type(network)()
+    clone.name = network.name
+
+    mapping = {0: 0}  # old constant node -> constant-0 signal
+    for old_node, name in zip(network.pi_nodes(), network.pi_names()):
+        mapping[old_node] = clone.add_pi(name)
+
+    def map_signal(signal: int) -> int:
+        return mapping[node_of(signal)] ^ (signal & 1)
+
+    gates = [n for n in network.topological_order() if network.is_gate(n)]
+    gate_set = set(gates)
+    deps = {n: 0 for n in gates}
+    dependents = {n: [] for n in gates}
+    for node in gates:
+        for fanin in network.fanins(node):
+            source = node_of(fanin)
+            if source in gate_set:
+                deps[node] += 1
+                dependents[source].append(node)
+
+    ready = [n for n in gates if deps[n] == 0]
+    while ready:
+        node = ready.pop(rng.randrange(len(ready)))
+        fanins = network.fanins(node)
+        new_fanins = [map_signal(f) for f in fanins]
+        if len(fanins) == 3:
+            mapping[node] = clone.maj(*new_fanins)
+        elif len(fanins) == 2:
+            mapping[node] = clone.and_(*new_fanins)
+        else:  # pragma: no cover - no current kernel has other arities
+            raise ValueError(f"unsupported gate arity {len(fanins)}")
+        for parent in dependents[node]:
+            deps[parent] -= 1
+            if deps[parent] == 0:
+                ready.append(parent)
+
+    for po, name in zip(network.po_signals(), network.po_names()):
+        clone.add_po(map_signal(po), name)
+    return clone
 
 
 def mutate_network(network, seed: int = 1, in_place: bool = False):

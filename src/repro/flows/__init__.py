@@ -34,6 +34,8 @@ from .batch import (
     format_batch_report,
     optimize_large,
     optimize_many,
+    service_optimize_large,
+    service_optimize_many,
 )
 from .mighty import MightyResult, mighty_optimize, mighty_pipeline
 from .partitioned import PartitionedRewrite, WindowVerificationError, partitioned_rewrite
@@ -93,6 +95,9 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "format_batch_report",
+    # service-backed entry points (repro.service daemon + result cache)
+    "service_optimize_many",
+    "service_optimize_large",
     # partition-parallel single-circuit API
     "optimize_large",
     "LargeResult",

@@ -42,6 +42,8 @@ __all__ = [
     "LargeResult",
     "optimize_many",
     "optimize_large",
+    "service_optimize_many",
+    "service_optimize_large",
     "format_batch_report",
 ]
 
@@ -372,6 +374,141 @@ def optimize_large(
         pass_metrics=result.passes,
         network=work,
     )
+
+
+def service_optimize_many(
+    corpus: Sequence[object],
+    workers: Optional[int] = None,
+    flow: str = "auto",
+    state_dir=None,
+    service=None,
+    deadline_s: Optional[float] = None,
+    **flow_kwargs,
+) -> BatchReport:
+    """:func:`optimize_many` routed through the optimization service.
+
+    Submits every network as one job to an
+    :class:`repro.service.OptimizationService` (an existing ``service``,
+    one over ``state_dir``, or an ephemeral one), drains the queue at
+    ``workers``, and reassembles the per-job results into the same
+    :class:`BatchReport` shape ``optimize_many`` returns — results are
+    **bit-identical** to the direct call at any worker count (the
+    service determinism contract), and previously seen (circuit, flow
+    config) pairs come back from the content-addressed result cache
+    without any optimization pass running (``item.flow`` gains a
+    ``"+cached"`` suffix so callers can see the O(1) path).
+
+    A failed or expired job raises: the batch API promises a result per
+    item, and silently dropping one would break corpus-order alignment.
+    """
+    import tempfile
+
+    from ..service import OptimizationService
+
+    corpus = list(corpus)
+    ephemeral = None
+    if service is None:
+        if state_dir is None:
+            ephemeral = tempfile.TemporaryDirectory(prefix="repro-service-")
+            state_dir = ephemeral.name
+        service = OptimizationService(state_dir)
+    try:
+        start = time.perf_counter()
+        job_ids = service.submit_many(
+            corpus,
+            flow=flow,
+            flow_options=flow_kwargs or None,
+            deadline_s=deadline_s,
+        )
+        service.run_pending(workers=workers)
+        items: List[BatchItem] = []
+        for index, job_id in enumerate(job_ids):
+            result = service.result(job_id)
+            if result.status != "done":
+                raise RuntimeError(
+                    f"service job {job_id} ({result.name}) ended "
+                    f"{result.status}: {result.error}"
+                )
+            items.append(
+                BatchItem(
+                    index=index,
+                    name=result.name,
+                    flow=result.flow + ("+cached" if result.cached else ""),
+                    initial_size=result.initial_size,
+                    initial_depth=result.initial_depth,
+                    final_size=result.final_size,
+                    final_depth=result.final_depth,
+                    runtime_s=result.runtime_s,
+                    pass_metrics=result.pass_metrics,
+                    network=result.network,
+                )
+            )
+        from ..parallel.executor import default_workers
+
+        return BatchReport(
+            items=items,
+            workers=default_workers() if workers is None else max(1, workers),
+            wall_s=time.perf_counter() - start,
+            parallel=(workers or default_workers()) > 1 and len(corpus) > 1,
+        )
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()
+
+
+def service_optimize_large(
+    network,
+    workers: Optional[int] = None,
+    state_dir=None,
+    service=None,
+    deadline_s: Optional[float] = None,
+    **large_kwargs,
+) -> LargeResult:
+    """:func:`optimize_large` routed through the optimization service.
+
+    One partition-parallel job: the window fan-out runs *inside* the
+    worker (nested pools degrade to in-process there, so the daemon's
+    pool is never oversubscribed), results and the cache behave exactly
+    like :func:`service_optimize_many`.
+    """
+    import tempfile
+
+    from ..service import OptimizationService
+
+    ephemeral = None
+    if service is None:
+        if state_dir is None:
+            ephemeral = tempfile.TemporaryDirectory(prefix="repro-service-")
+            state_dir = ephemeral.name
+        service = OptimizationService(state_dir)
+    try:
+        job_id = service.submit(
+            network, flow="large", flow_options=large_kwargs or None,
+            deadline_s=deadline_s,
+        )
+        service.run_pending(workers=workers)
+        result = service.result(job_id)
+        if result.status != "done":
+            raise RuntimeError(
+                f"service job {job_id} ({result.name}) ended "
+                f"{result.status}: {result.error}"
+            )
+        return LargeResult(
+            name=result.name,
+            workers=1 if workers is None else max(1, workers),
+            parallel=False,
+            initial_size=result.initial_size,
+            initial_depth=result.initial_depth,
+            final_size=result.final_size,
+            final_depth=result.final_depth,
+            runtime_s=result.runtime_s,
+            details={"cached": result.cached, "job_id": job_id},
+            pass_metrics=result.pass_metrics,
+            network=result.network,
+        )
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()
 
 
 def format_batch_report(report: BatchReport) -> str:

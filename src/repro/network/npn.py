@@ -50,13 +50,12 @@ describes how the argument's inputs are wired onto ``f``'s inputs.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
-import tempfile
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
+from ..cache import atomic_write_json, load_json
 from ..core.signal import CONST_FALSE, CONST_NODE, CONST_TRUE, negate_if
 
 __all__ = [
@@ -429,9 +428,8 @@ def _load_structure_cache(kind: str) -> None:
     path = structure_cache_path(kind)
     if path is None:
         return
-    try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
+    payload = load_json(path)
+    if payload is None:
         return
     if (
         not isinstance(payload, dict)
@@ -508,23 +506,9 @@ def _save_structure_cache(kind: str) -> None:
         "kind": kind,
         "entries": entries,
     }
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        pass  # read-only cache dir etc.: persistence is best-effort
+    # Atomic temp-file + replace via the shared idiom; a read-only cache
+    # dir degrades persistence (False return), never correctness.
+    atomic_write_json(path, payload)
 
 
 def flush_structure_cache() -> None:

@@ -32,20 +32,19 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import json
-import os
 import re
-import tempfile
 import time
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..cache import atomic_write_json, load_json
 from .executor import ParallelReport, parallel_map
 
 __all__ = [
     "run_corpus",
     "structural_fingerprint",
+    "canonical_fingerprint",
     "structural_row",
     "optimization_row",
     "synthesis_row",
@@ -89,6 +88,99 @@ def structural_fingerprint(net) -> str:
             tuple(net.po_signals()),
             tuple(net._po_names),
             tuple((node, net._fanins[node]) for node in net.topological_order()),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def canonical_fingerprint(net) -> str:
+    """SHA-256 over a *node-id-independent* canonical form of a network.
+
+    The content-address of the service result cache
+    (:mod:`repro.service`): two networks hash equal iff they are the
+    same DAG up to node renaming — same network kind, PI count and
+    names, PO order and names, gate structure, sharing and complement
+    bits — regardless of raw node ids or construction order, while
+    :func:`structural_fingerprint` (the bit-identity contract of the
+    parallel layer) keys on exact node ids.  Both kernels store fully
+    symmetric gates (majority, AND) whose fanin tuples are *sorted by
+    raw signal value* at normalization time, so the canonical form must
+    also be fanin-order-insensitive; it is computed in two phases:
+
+    1. a bottom-up structure hash per node (Merkle-style: constant,
+       PI index, or the sorted multiset of (fanin hash, complement)
+       pairs) — a pure function of each node's cone shape;
+    2. a post-order traversal from the POs in order that visits every
+       gate's fanins sorted by (structure hash, complement) and assigns
+       canonical ids in completion order.  Gates are recorded as sorted
+       multisets of (canonical fanin id, complement) literals, so
+       *sharing is visible* — a shared cone and its duplicated
+       expansion record differently (they optimize differently and must
+       never collide).
+
+    The key deliberately covers the network kind (class name) and the
+    PI arity even when no gate references some PI: a MIG and an AIG, or
+    the same cone under different input arities, must never collide.
+    """
+    fanins = net._fanins
+    # Phase 1: id-independent structure hash per node (iterative DFS).
+    struct: Dict[int, str] = {0: "C"}
+    for index, node in enumerate(net.pi_nodes()):
+        struct[node] = f"P{index}"
+    po_roots = [po >> 1 for po in net.po_signals()]
+    for root in po_roots:
+        if root in struct:
+            continue
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in struct:
+                continue
+            if expanded:
+                parts = sorted((struct[f >> 1], f & 1) for f in fanins[node])
+                struct[node] = hashlib.sha256(repr(parts).encode()).hexdigest()
+            else:
+                stack.append((node, True))
+                for f in fanins[node]:
+                    if (f >> 1) not in struct:
+                        stack.append((f >> 1, False))
+    # Phase 2: canonical ids by deterministic post-order (fanins visited
+    # in sorted structure-hash order), gates as sorted literal multisets.
+    canonical: Dict[int, int] = {0: 0}
+    for index, node in enumerate(net.pi_nodes()):
+        canonical[node] = index + 1
+    next_id = len(canonical)
+    gate_records: List[tuple] = []
+    for root in po_roots:
+        if root in canonical:
+            continue
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in canonical:
+                continue
+            if expanded:
+                canonical[node] = next_id
+                next_id += 1
+                gate_records.append(
+                    tuple(sorted((canonical[f >> 1], f & 1) for f in fanins[node]))
+                )
+            else:
+                stack.append((node, True))
+                ordered = sorted(
+                    fanins[node], key=lambda f: (struct[f >> 1], f & 1)
+                )
+                for f in reversed(ordered):
+                    if (f >> 1) not in canonical:
+                        stack.append((f >> 1, False))
+    payload = repr(
+        (
+            net.__class__.__name__,
+            net.num_pis,
+            tuple(net._pi_names),
+            tuple(net._po_names),
+            tuple((canonical[po >> 1], po & 1) for po in net.po_signals()),
+            tuple(gate_records),
         )
     )
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -376,23 +468,28 @@ class RowChannel:
     def _suite_dir(self, suite: str) -> Path:
         return self.root / _SAFE_NAME.sub("_", suite)
 
+    def _row_path(self, suite: str, name: str) -> Path:
+        return self._suite_dir(suite) / f"{_SAFE_NAME.sub('_', name)}.json"
+
     def write(self, suite: str, name: str, payload: dict) -> Path:
         """Atomically persist one row; returns its path."""
-        directory = self._suite_dir(suite)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"{_SAFE_NAME.sub('_', name)}.json"
-        fd, tmp_name = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        path = self._row_path(suite, name)
+        if not atomic_write_json(path, payload):
+            raise OSError(f"cannot persist row {suite}/{name} at {path}")
         return path
+
+    def read(self, suite: str, name: str) -> Optional[dict]:
+        """One row of ``suite`` by name, or ``None`` if absent/torn."""
+        payload = load_json(self._row_path(suite, name))
+        return payload if isinstance(payload, dict) else None
+
+    def delete(self, suite: str, name: str) -> bool:
+        """Drop one row (idempotent); returns whether a file was removed."""
+        try:
+            self._row_path(suite, name).unlink()
+        except OSError:
+            return False
+        return True
 
     def read_all(self, suite: str) -> Dict[str, dict]:
         """Every complete row of ``suite``, keyed by row name."""
@@ -401,10 +498,10 @@ class RowChannel:
         if not directory.is_dir():
             return rows
         for path in sorted(directory.glob("*.json")):
-            try:
-                rows[path.stem] = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                continue  # torn/foreign file: skip, never crash the summary
+            payload = load_json(path)
+            if isinstance(payload, dict):
+                rows[path.stem] = payload
+            # torn/foreign files: skip, never crash the summary
         return rows
 
     def ordered(self, suite: str, order: Sequence[str]) -> List[dict]:

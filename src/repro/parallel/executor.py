@@ -31,7 +31,7 @@ import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -212,6 +212,7 @@ def parallel_map(
     warmup: Optional[Callable[[], None]] = warm_worker,
     initializer: Optional[Callable] = None,
     initargs: tuple = (),
+    on_result: Optional[Callable[[int, object, float, int], None]] = None,
 ) -> ParallelReport:
     """Map ``fn`` over ``items`` on a process pool; results in input order.
 
@@ -221,6 +222,14 @@ def parallel_map(
     worker as part of the pool initializer; ``initializer(*initargs)``
     additionally installs per-call shared state (e.g. a CNF snapshot)
     in each worker without re-pickling it per task.
+
+    ``on_result(index, result, runtime_s, worker_pid)`` — when given —
+    runs in the *parent* for every finished task as soon as its chunk
+    completes, in completion order (input order only under the serial
+    fallback).  This is the streaming hook of the service layer: a
+    consumer can persist or publish per-item results while other shards
+    are still running instead of barriering on the whole corpus.  The
+    returned report is unchanged (input order) either way.
 
     Degrades to an in-process loop — same chunk runner, same record
     shape, items still pickle-round-tripped into private copies,
@@ -253,13 +262,15 @@ def parallel_map(
             # task that mutates its item (in-place optimization flows)
             # behaves identically at every worker count and the caller's
             # objects are never touched.
-            raw.extend(
-                _run_chunk(
-                    fn,
-                    [(i, pickle.loads(pickle.dumps(items[i]))) for i in shard],
-                    [labels[i] for i in shard],
-                )
+            chunk_records = _run_chunk(
+                fn,
+                [(i, pickle.loads(pickle.dumps(items[i]))) for i in shard],
+                [labels[i] for i in shard],
             )
+            raw.extend(chunk_records)
+            if on_result is not None:
+                for record in chunk_records:
+                    on_result(*record)
     else:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(items)),
@@ -275,18 +286,20 @@ def parallel_map(
                 )
                 for shard in shards
             ]
-            # Fail fast: the first task exception cancels pending chunks
-            # instead of burning the rest of the corpus first.
-            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-            failed = next((f for f in done if f.exception() is not None), None)
-            if failed is not None:
-                for future in pending:
+            # Chunks are consumed as they complete so ``on_result`` can
+            # stream; the first task exception cancels pending chunks
+            # (fail fast) instead of burning the rest of the corpus.
+            try:
+                for future in as_completed(futures):
+                    chunk_records = future.result()
+                    raw.extend(chunk_records)
+                    if on_result is not None:
+                        for record in chunk_records:
+                            on_result(*record)
+            except BaseException:
+                for future in futures:
                     future.cancel()
-                raise failed.exception()
-            for future in pending:  # pragma: no cover - pending is empty here
-                future.result()
-            for future in futures:
-                raw.extend(future.result())
+                raise
 
     results: List[object] = [None] * len(items)
     tasks: List[TaskRecord] = []

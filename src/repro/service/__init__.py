@@ -1,0 +1,107 @@
+"""Optimization-as-a-service: a crash-safe job daemon with a result cache.
+
+Everything below :mod:`repro.flows` is batch-process shaped — one call,
+one barrier, all state dies with the process.  This package turns the
+optimization stack into a long-running *service*: jobs go in, results
+stream out as shards finish, state survives a kill, and previously seen
+work is answered from a content-addressed cache without touching the
+optimizer.  The runtime shape follows the supervised event-loop /
+user-context split of data-acquisition frameworks (typed messages
+through a thin supervisor, admin surface on the side): the daemon loop
+is deliberately dumb — all intelligence lives in the job model and the
+per-job task function, which are pure and process-parallel.
+
+Job lifecycle
+-------------
+::
+
+    submit() ──► queued ──► running ──► done ──────► (result row, cache)
+                   │            │        failed ───► (result row, error)
+                   └─ expired   └─ crash ─► re-queued on restart
+
+* :meth:`OptimizationService.submit` takes a network (MIG or AIG), a
+  flow spec (``flow="auto"|"mighty"|"resyn2"|"large"`` plus flow
+  options — the effort knobs, e.g. ``rounds``/``depth_effort``) and an
+  optional queue ``deadline_s``.  Submission is non-blocking: it
+  persists one *job row* and returns a job id.  If the result cache
+  already holds the (circuit, flow config) pair, the job completes at
+  submit time (``cached=True``) without any optimization pass running.
+* :meth:`OptimizationService.run_pending` drains the queue through the
+  process-parallel executor (:func:`repro.parallel.parallel_map`): jobs
+  fan out across workers and every finished job is persisted and
+  cached **as its shard completes** (the executor's ``on_result``
+  streaming hook) instead of barriering on the whole queue.  A job
+  whose queue deadline has lapsed is marked ``expired`` and never runs.
+* :meth:`OptimizationService.serve` wraps ``run_pending`` in a polling
+  daemon loop; :meth:`OptimizationService.status` is the admin surface
+  (queue depths, cache hit/miss counters, optimizer invocations,
+  recovery counts).
+
+Persistence format
+------------------
+All state lives under one ``state_dir`` as atomic one-JSON-file-per-row
+stores (the :class:`repro.parallel.corpus.RowChannel` idiom — temp file
++ ``os.replace``, torn files skipped on read):
+
+* ``jobs/<job_id>.json`` — the job row: id, name, network kind, resolved
+  flow + canonical flow options, base64-pickled input network, cache
+  key, status, timestamps, attempts, error.
+* ``results/<job_id>.json`` — the result row: base64-pickled optimized
+  network, initial/final size and depth, per-pass metric rows, runtime,
+  ``cached`` flag, structural fingerprint of the result.
+* ``cache/<cache_key>.json`` — the content-addressed result cache
+  (:class:`repro.service.results.ResultCache`), validate-on-load.
+
+A killed daemon restarts losslessly: ``running`` jobs (in flight at the
+crash) and ``done`` jobs whose result row never landed are re-queued;
+``done`` jobs with persisted results are never re-run.  Torn files in
+any store degrade to a skipped row / cache miss, never to an error.
+
+Cache-key contract
+------------------
+Completed results are cached under
+``content_key(format_version, canonical_fingerprint(network),
+canonical_flow_config(flow, options))`` — see
+:func:`repro.service.results.result_cache_key`.
+:func:`repro.parallel.corpus.canonical_fingerprint` renumbers nodes by a
+post-order traversal from the POs, so **structurally identical networks
+built in different orders (different raw node ids) hit the same cache
+entry**, while the network kind (MIG vs AIG), the PI arity (referenced
+or not), PI/PO names and order, fanin order and complement bits, and
+every flow option are all part of the key and can never collide.  Cached
+payloads are validated on load (format version, key match, fingerprint
+replay of the decoded network); corruption is a cache miss.
+
+Determinism contract
+--------------------
+The service extends the :mod:`repro.parallel` contract: a corpus
+submitted through the daemon returns networks **bit-identical** (node
+ids, fanins, POs, structural fingerprints) to a direct
+:func:`repro.flows.batch.optimize_many` run at any worker count —
+including the cached-resubmission path, because the cache stores the
+optimized network pickled exactly as the flow produced it.
+``tests/service/`` asserts this at 1, 2 and 4 workers.
+"""
+
+from .daemon import OptimizationService, ServiceResult
+from .jobs import (
+    Job,
+    JobStatus,
+    canonical_flow_config,
+    decode_network,
+    encode_network,
+)
+from .results import CachedResult, ResultCache, result_cache_key
+
+__all__ = [
+    "OptimizationService",
+    "ServiceResult",
+    "Job",
+    "JobStatus",
+    "canonical_flow_config",
+    "encode_network",
+    "decode_network",
+    "ResultCache",
+    "CachedResult",
+    "result_cache_key",
+]

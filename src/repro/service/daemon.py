@@ -1,0 +1,454 @@
+"""The optimization daemon: queue supervision over pure job tasks.
+
+See the package docstring of :mod:`repro.service` for the job
+lifecycle, the persistence format and the determinism contract.  The
+split mirrors supervised event-loop frameworks: :class:`OptimizationService`
+is the supervisor (owns persistent state, admin surface, recovery), and
+:func:`_execute_job` is the user context — a pure, picklable function of
+one job row that fans out through :func:`repro.parallel.parallel_map`
+and never touches service state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..parallel.corpus import (
+    RowChannel,
+    canonical_fingerprint,
+    structural_fingerprint,
+)
+from ..parallel.executor import parallel_map
+from .jobs import (
+    Job,
+    JobStatus,
+    canonical_flow_config,
+    decode_network,
+    encode_network,
+    pass_metrics_from_rows,
+    pass_metrics_rows,
+    resolve_flow,
+)
+from .results import ResultCache, result_cache_key
+
+__all__ = ["OptimizationService", "ServiceResult", "JOBS_SUITE", "RESULTS_SUITE"]
+
+JOBS_SUITE = "jobs"
+RESULTS_SUITE = "results"
+
+
+def _execute_job(row: dict) -> dict:
+    """Worker task: run one job row's flow; always returns a result row.
+
+    Pure function of the row (the network arrives base64-pickled inside
+    it) — the daemon's determinism hangs on this task computing exactly
+    what :func:`repro.flows.batch.optimize_many`'s worker task computes
+    for the same network and options.  Exceptions are *caught* and
+    returned as ``status="failed"`` rows: one poisoned job must fail
+    that job, not kill the daemon's whole drain cycle.
+    """
+    job = Job.from_row(row)
+    start = time.perf_counter()
+    try:
+        network = job.network()
+        if job.flow == "mighty":
+            from ..flows.mighty import mighty_optimize
+
+            result = mighty_optimize(network, **job.flow_options)
+            optimized = network
+            initial = (result.initial_size, result.initial_depth)
+            passes = result.pass_metrics
+        elif job.flow == "resyn2":
+            from ..aig.resyn import resyn2
+
+            initial = (network.num_gates, network.depth())
+            optimized, stats = resyn2(network)
+            passes = stats.pass_metrics
+        elif job.flow == "large":
+            from ..flows.batch import optimize_large
+
+            large = optimize_large(network, **job.flow_options)
+            optimized = large.network
+            initial = (large.initial_size, large.initial_depth)
+            passes = large.pass_metrics
+        else:
+            raise ValueError(f"unknown job flow {job.flow!r}")
+    except Exception as exc:
+        return {
+            "job_id": job.job_id,
+            "status": JobStatus.FAILED,
+            "error": f"{type(exc).__name__}: {exc}",
+            "cached": False,
+            "runtime_s": time.perf_counter() - start,
+        }
+    return {
+        "job_id": job.job_id,
+        "status": JobStatus.DONE,
+        "error": None,
+        "cached": False,
+        "network": encode_network(optimized),
+        "initial_size": initial[0],
+        "initial_depth": initial[1],
+        "final_size": optimized.num_gates,
+        "final_depth": optimized.depth(),
+        "result_fingerprint": structural_fingerprint(optimized),
+        "pass_metrics": pass_metrics_rows(passes),
+        "runtime_s": time.perf_counter() - start,
+    }
+
+
+@dataclass
+class ServiceResult:
+    """Decoded result of one job, as handed back by :meth:`result`."""
+
+    job_id: str
+    name: str
+    flow: str
+    status: str
+    cached: bool
+    initial_size: int
+    initial_depth: int
+    final_size: int
+    final_depth: int
+    runtime_s: float
+    result_fingerprint: str
+    network: object = None
+    pass_metrics: List = field(default_factory=list)
+    error: Optional[str] = None
+
+
+class OptimizationService:
+    """A crash-safe optimization daemon over one persistent state dir.
+
+    See :mod:`repro.service` for the full lifecycle/persistence/cache
+    contracts.  Constructing the service *is* the recovery path: job
+    rows are reloaded, in-flight (``running``) jobs and ``done`` jobs
+    whose result row never landed are re-queued, and torn rows are
+    skipped — so ``OptimizationService(dir)`` after a kill resumes
+    exactly the work that was lost and never re-runs completed rows.
+    """
+
+    def __init__(
+        self,
+        state_dir,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        use_cache: bool = True,
+        cache_flush_every: int = 1,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.rows = RowChannel(self.state_dir)
+        self.workers = workers
+        self.cache: Optional[ResultCache] = (
+            ResultCache(
+                Path(cache_dir) if cache_dir is not None else self.state_dir / "cache",
+                flush_every=cache_flush_every,
+            )
+            if use_cache
+            else None
+        )
+        #: Jobs whose flow actually ran in this process's drain cycles
+        #: (cache hits and recovered completed rows never count).
+        self.optimizer_invocations = 0
+        self.recovered_running = 0
+        self.recovered_missing_result = 0
+        self._next_seq = 1
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Recovery (runs at construction)
+    # ------------------------------------------------------------------ #
+    def _recover(self) -> None:
+        results = self.rows.read_all(RESULTS_SUITE)
+        for row in self.rows.read_all(JOBS_SUITE).values():
+            try:
+                job = Job.from_row(row)
+            except (KeyError, TypeError, ValueError):
+                continue  # torn/foreign row: not a job
+            seq = self._job_seq(job.job_id)
+            if seq is not None:
+                self._next_seq = max(self._next_seq, seq + 1)
+            if job.status in JobStatus.RESUMABLE:
+                # In flight when the previous daemon died: back to the
+                # queue (attempts stays, recording the lost run).
+                job.status = JobStatus.QUEUED
+                job.started_at = None
+                self.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+                self.recovered_running += 1
+            elif job.status == JobStatus.DONE and job.job_id not in results:
+                # Marked done but its result row never landed (torn or
+                # lost): the claim is unsubstantiated — re-run it.
+                job.status = JobStatus.QUEUED
+                job.started_at = None
+                job.finished_at = None
+                job.cached = False
+                self.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+                self.recovered_missing_result += 1
+
+    @staticmethod
+    def _job_seq(job_id: str) -> Optional[int]:
+        if job_id.startswith("j"):
+            try:
+                return int(job_id[1:])
+            except ValueError:
+                return None
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        network,
+        flow: str = "auto",
+        flow_options: Optional[Dict] = None,
+        deadline_s: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Enqueue one optimization job; returns its job id.
+
+        Non-blocking: the job row is persisted and the call returns.  If
+        the result cache already holds this (circuit, flow config) pair
+        the job completes *at submit time* — the cached network is
+        written as this job's result row (``cached=True``) and no
+        optimization pass will ever run for it.
+        """
+        resolved = resolve_flow(network, flow)
+        options = dict(flow_options or {})
+        if resolved == "resyn2" and options:
+            raise ValueError(
+                f"flow 'resyn2' takes no flow options, got {sorted(options)}"
+            )
+        canonical_flow_config(resolved, options)  # validate JSON-ability early
+        job_id = f"j{self._next_seq:06d}"
+        self._next_seq += 1
+        job = Job(
+            job_id=job_id,
+            name=name if name is not None else getattr(network, "name", "network"),
+            kind=type(network).__name__,
+            flow=resolved,
+            flow_options=options,
+            cache_key=result_cache_key(network, resolved, options),
+            canonical_input=canonical_fingerprint(network),
+            payload=encode_network(network),
+            num_gates=network.num_gates,
+            submitted_at=time.time(),
+            deadline_s=deadline_s,
+        )
+        cached = self.cache.get(job.cache_key) if self.cache is not None else None
+        if cached is not None:
+            job.status = JobStatus.DONE
+            job.cached = True
+            job.finished_at = time.time()
+            self.rows.write(
+                RESULTS_SUITE,
+                job_id,
+                {
+                    "job_id": job_id,
+                    "status": JobStatus.DONE,
+                    "error": None,
+                    "cached": True,
+                    "network": cached.network_payload,
+                    "initial_size": cached.initial_size,
+                    "initial_depth": cached.initial_depth,
+                    "final_size": cached.final_size,
+                    "final_depth": cached.final_depth,
+                    "result_fingerprint": cached.result_fingerprint,
+                    "pass_metrics": cached.pass_metrics_rows,
+                    "runtime_s": 0.0,
+                },
+            )
+        self.rows.write(JOBS_SUITE, job_id, job.to_row())
+        return job_id
+
+    def submit_many(
+        self,
+        corpus,
+        flow: str = "auto",
+        flow_options: Optional[Dict] = None,
+        deadline_s: Optional[float] = None,
+    ) -> List[str]:
+        """Submit a whole corpus; returns job ids in corpus order."""
+        return [
+            self.submit(
+                network, flow=flow, flow_options=flow_options, deadline_s=deadline_s
+            )
+            for network in corpus
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Execution (the daemon loop body)
+    # ------------------------------------------------------------------ #
+    def run_pending(self, workers: Optional[int] = None) -> Dict[str, int]:
+        """Drain the queue once; returns ``{ran, done, failed, expired}``.
+
+        Queued jobs fan out through :func:`repro.parallel.parallel_map`
+        (LPT-scheduled by submitted gate count); every job's result row
+        is persisted, its job row finalized and its result cached **as
+        its shard completes** via the executor's streaming hook, so a
+        kill mid-drain loses only the jobs still in flight.
+        """
+        queued = self.queued_jobs()
+        now = time.time()
+        runnable: List[Job] = []
+        summary = {"ran": 0, "done": 0, "failed": 0, "expired": 0}
+        for job in queued:
+            if job.expired(now):
+                job.status = JobStatus.EXPIRED
+                job.finished_at = now
+                job.error = (
+                    f"queue deadline lapsed ({job.deadline_s:.3f}s) before the job ran"
+                )
+                self.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+                summary["expired"] += 1
+            else:
+                runnable.append(job)
+        if not runnable:
+            return summary
+        for job in runnable:
+            job.status = JobStatus.RUNNING
+            job.started_at = time.time()
+            job.attempts += 1
+            self.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+
+        def _stream(index: int, result_row: dict, runtime_s: float, pid: int) -> None:
+            status = self._finish_job(runnable[index], result_row)
+            summary[status] += 1
+            summary["ran"] += 1
+
+        parallel_map(
+            _execute_job,
+            [job.to_row() for job in runnable],
+            workers=self.workers if workers is None else workers,
+            costs=[job.num_gates for job in runnable],
+            labels=[job.job_id for job in runnable],
+            on_result=_stream,
+        )
+        return summary
+
+    def _finish_job(self, job: Job, result_row: dict) -> str:
+        """Persist one finished job (result row first, then the job row).
+
+        Write order is the crash-safety argument: a kill between the two
+        writes leaves a ``running`` job with a result row — recovery
+        re-queues it, which is wasteful but sound.  The opposite order
+        could mark a job ``done`` with no result, which recovery must
+        treat as lost work.
+        """
+        self.rows.write(RESULTS_SUITE, job.job_id, result_row)
+        job.status = result_row["status"]
+        job.finished_at = time.time()
+        job.error = result_row.get("error")
+        self.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+        if job.status == JobStatus.DONE:
+            self.optimizer_invocations += 1
+            if self.cache is not None:
+                self.cache.put(
+                    job.cache_key,
+                    decode_network(result_row["network"]),
+                    initial_size=result_row["initial_size"],
+                    initial_depth=result_row["initial_depth"],
+                    flow=job.flow,
+                    flow_options=job.flow_options,
+                    pass_metrics=result_row.get("pass_metrics"),
+                    runtime_s=result_row.get("runtime_s", 0.0),
+                )
+        return job.status
+
+    def serve(
+        self,
+        workers: Optional[int] = None,
+        poll_s: float = 0.05,
+        max_cycles: Optional[int] = None,
+        stop_when_idle: bool = False,
+    ) -> Dict[str, int]:
+        """Minimal daemon loop: poll the queue, drain, repeat.
+
+        ``stop_when_idle`` returns after the first cycle that finds an
+        empty queue (the test/benchmark mode); otherwise the loop runs
+        ``max_cycles`` times (forever when ``None`` — the deployment
+        mode, where another process appends job rows to the shared
+        state dir between polls).
+        """
+        totals = {"ran": 0, "done": 0, "failed": 0, "expired": 0, "cycles": 0}
+        while max_cycles is None or totals["cycles"] < max_cycles:
+            summary = self.run_pending(workers=workers)
+            totals["cycles"] += 1
+            for key in ("ran", "done", "failed", "expired"):
+                totals[key] += summary[key]
+            if not self.queued_jobs():
+                if stop_when_idle:
+                    break
+                time.sleep(poll_s)
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # Status / admin surface
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> Job:
+        row = self.rows.read(JOBS_SUITE, job_id)
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return Job.from_row(row)
+
+    def jobs(self) -> List[Job]:
+        """Every persisted job, in submission (job-id) order."""
+        rows = self.rows.read_all(JOBS_SUITE)
+        out = []
+        for name in sorted(rows):
+            try:
+                out.append(Job.from_row(rows[name]))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    def queued_jobs(self) -> List[Job]:
+        return [job for job in self.jobs() if job.status == JobStatus.QUEUED]
+
+    def result(self, job_id: str, decode: bool = True) -> ServiceResult:
+        """The persisted result of ``job_id`` (raises ``KeyError`` if absent)."""
+        job = self.job(job_id)
+        row = self.rows.read(RESULTS_SUITE, job_id)
+        if row is None:
+            raise KeyError(f"job {job_id!r} has no result (status {job.status!r})")
+        return ServiceResult(
+            job_id=job_id,
+            name=job.name,
+            flow=job.flow,
+            status=str(row.get("status", job.status)),
+            cached=bool(row.get("cached", False)),
+            initial_size=int(row.get("initial_size", 0)),
+            initial_depth=int(row.get("initial_depth", 0)),
+            final_size=int(row.get("final_size", 0)),
+            final_depth=int(row.get("final_depth", 0)),
+            runtime_s=float(row.get("runtime_s", 0.0)),
+            result_fingerprint=str(row.get("result_fingerprint", "")),
+            network=(
+                decode_network(row["network"])
+                if decode and row.get("network")
+                else None
+            ),
+            pass_metrics=pass_metrics_from_rows(row.get("pass_metrics")),
+            error=row.get("error"),
+        )
+
+    def status(self) -> Dict[str, object]:
+        """Admin snapshot: queue depths, cache counters, recovery stats."""
+        by_status: Dict[str, int] = {status: 0 for status in JobStatus.ALL}
+        jobs = self.jobs()
+        for job in jobs:
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "state_dir": str(self.state_dir),
+            "jobs": len(jobs),
+            "by_status": by_status,
+            "queue_depth": by_status[JobStatus.QUEUED],
+            "results": len(self.rows.read_all(RESULTS_SUITE)),
+            "optimizer_invocations": self.optimizer_invocations,
+            "recovered_running": self.recovered_running,
+            "recovered_missing_result": self.recovered_missing_result,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }

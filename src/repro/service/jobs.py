@@ -1,0 +1,205 @@
+"""Job model of the optimization service.
+
+A :class:`Job` is one unit of work: a circuit, a resolved flow spec
+(flow name + canonical options — the effort knobs), and queue metadata
+(status, timestamps, an optional deadline).  Jobs are plain data: they
+round-trip losslessly through JSON rows (networks travel as
+base64-encoded pickles, which preserve node ids exactly — the bit-
+identity contract of :mod:`repro.parallel` extended to persistence),
+so the daemon can be killed and restarted around them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "JobStatus",
+    "Job",
+    "canonical_flow_config",
+    "resolve_flow",
+    "encode_network",
+    "decode_network",
+    "pass_metrics_rows",
+    "pass_metrics_from_rows",
+]
+
+
+class JobStatus:
+    """Lifecycle states of a job (plain string constants, JSON-stable)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    EXPIRED = "expired"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, EXPIRED)
+    #: States a restarted daemon re-queues (in flight when it died).
+    RESUMABLE = (RUNNING,)
+    #: States that terminate a job (never re-run).
+    TERMINAL = (DONE, FAILED, EXPIRED)
+
+
+#: Flows a job may carry; "auto" is resolved at submit time.
+JOB_FLOWS = ("mighty", "resyn2", "large")
+
+
+def resolve_flow(network, flow: str) -> str:
+    """Resolve ``"auto"`` by network type; validate explicit flows."""
+    if flow == "auto":
+        from ..aig.aig import Aig
+
+        return "resyn2" if isinstance(network, Aig) else "mighty"
+    if flow not in JOB_FLOWS:
+        raise ValueError(
+            f"unknown flow {flow!r} (expected 'auto' or one of {JOB_FLOWS})"
+        )
+    return flow
+
+
+def canonical_flow_config(flow: str, options: Optional[Dict] = None) -> str:
+    """Canonical JSON form of a flow spec — half of the cache key.
+
+    Key order is normalized (sorted) and values must be JSON-encodable,
+    so two submissions with the same flow and the same option values
+    produce byte-identical configs regardless of dict construction
+    order.  Canonicalization is deliberately *syntactic*: an option
+    spelled explicitly at its default value differs from an omitted one,
+    which can only split cache entries (a miss), never alias distinct
+    computations (never unsound).
+    """
+    options = dict(options or {})
+    try:
+        return json.dumps(
+            {"flow": flow, "options": options}, sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"flow options must be JSON-encodable for cache keying: {exc}"
+        ) from exc
+
+
+def encode_network(network) -> str:
+    """Base64-encoded pickle of a network (node ids preserved exactly)."""
+    return base64.b64encode(pickle.dumps(network)).decode("ascii")
+
+
+def decode_network(payload: str):
+    """Inverse of :func:`encode_network`."""
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+def pass_metrics_rows(metrics) -> List[dict]:
+    """JSON-stable projection of a flow's per-pass metrics trace.
+
+    Details are dropped (they may hold non-JSON verdict objects); the
+    merged batch reports only consume names, sizes, depths and runtimes.
+    """
+    return [
+        {
+            "name": m.name,
+            "size_before": m.size_before,
+            "size_after": m.size_after,
+            "depth_before": m.depth_before,
+            "depth_after": m.depth_after,
+            "runtime_s": m.runtime_s,
+        }
+        for m in metrics
+    ]
+
+
+def pass_metrics_from_rows(rows) -> List:
+    """Rebuild :class:`repro.flows.engine.PassMetrics` from row form."""
+    from ..flows.engine import PassMetrics
+
+    return [PassMetrics(**row) for row in rows or ()]
+
+
+@dataclass
+class Job:
+    """One persisted unit of service work (see the package docstring)."""
+
+    job_id: str
+    name: str
+    kind: str
+    flow: str
+    flow_options: Dict[str, object] = field(default_factory=dict)
+    cache_key: str = ""
+    canonical_input: str = ""
+    payload: str = ""
+    num_gates: int = 0
+    status: str = JobStatus.QUEUED
+    submitted_at: float = 0.0
+    deadline_s: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cached: bool = False
+    error: Optional[str] = None
+
+    def network(self):
+        """This job's private copy of the submitted network."""
+        return decode_network(self.payload)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the queue deadline lapsed before the job started."""
+        if self.deadline_s is None:
+            return False
+        now = time.time() if now is None else now
+        return now - self.submitted_at > self.deadline_s
+
+    def to_row(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "kind": self.kind,
+            "flow": self.flow,
+            "flow_options": dict(self.flow_options),
+            "cache_key": self.cache_key,
+            "canonical_input": self.canonical_input,
+            "payload": self.payload,
+            "num_gates": self.num_gates,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "deadline_s": self.deadline_s,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Job":
+        """Rebuild a job from its persisted row (raises on malformed rows)."""
+        return cls(
+            job_id=str(row["job_id"]),
+            name=str(row.get("name", "network")),
+            kind=str(row.get("kind", "")),
+            flow=str(row["flow"]),
+            flow_options=dict(row.get("flow_options") or {}),
+            cache_key=str(row.get("cache_key", "")),
+            canonical_input=str(row.get("canonical_input", "")),
+            payload=str(row.get("payload", "")),
+            num_gates=int(row.get("num_gates", 0)),
+            status=str(row.get("status", JobStatus.QUEUED)),
+            submitted_at=float(row.get("submitted_at", 0.0)),
+            deadline_s=(
+                None if row.get("deadline_s") is None else float(row["deadline_s"])
+            ),
+            started_at=(
+                None if row.get("started_at") is None else float(row["started_at"])
+            ),
+            finished_at=(
+                None if row.get("finished_at") is None else float(row["finished_at"])
+            ),
+            attempts=int(row.get("attempts", 0)),
+            cached=bool(row.get("cached", False)),
+            error=row.get("error"),
+        )

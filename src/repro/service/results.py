@@ -1,0 +1,221 @@
+"""Content-addressed result cache of the optimization service.
+
+Generalizes the NPN structure database's disk-cache pattern
+(:mod:`repro.network.npn`) to whole optimization results: content-hash
+keys, atomic (optionally batched) writes, full validation on load.  One
+JSON file per entry under the cache root, so concurrent daemons sharing
+a cache directory compose exactly like concurrent :class:`RowChannel`
+writers — last complete write wins, readers never see a torn entry.
+
+The key (:func:`result_cache_key`) addresses the *computation*, not the
+object: ``(format version, canonical input structure, canonical flow
+config)``.  The value stores the optimized network pickled exactly as
+the flow produced it, so a cache hit returns a result bit-identical to
+re-running the optimizer on the same submission (the service
+determinism contract) in O(1) — one file read plus one unpickle, no
+optimization pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..cache import atomic_write_json, content_key, load_json
+from ..parallel.corpus import canonical_fingerprint, structural_fingerprint
+from .jobs import canonical_flow_config, decode_network, encode_network
+
+__all__ = ["CACHE_FORMAT_VERSION", "result_cache_key", "CachedResult", "ResultCache"]
+
+#: Bumped when the cached payload layout changes; part of every key, so
+#: a format change starts a fresh cache instead of misreading old files.
+CACHE_FORMAT_VERSION = 1
+
+
+def result_cache_key(network, flow: str, options: Optional[Dict] = None) -> str:
+    """The content address of one (circuit, flow config) computation.
+
+    Built on :func:`repro.parallel.corpus.canonical_fingerprint`, which
+    is node-id-independent but covers the network kind, PI arity and
+    names, PO order, fanin order and complement bits — see the
+    package docstring for the full soundness contract.
+    """
+    return content_key(
+        CACHE_FORMAT_VERSION,
+        canonical_fingerprint(network),
+        canonical_flow_config(flow, options),
+    )
+
+
+@dataclass
+class CachedResult:
+    """One validated cache entry, decoded."""
+
+    key: str
+    network: object
+    #: The still-encoded network payload, so a cache-hit path can hand
+    #: the result on (result rows store encoded networks) without paying
+    #: a re-pickle of the object it just validated.
+    network_payload: str
+    initial_size: int
+    initial_depth: int
+    final_size: int
+    final_depth: int
+    result_fingerprint: str
+    flow: str
+    flow_options: Dict[str, object] = field(default_factory=dict)
+    pass_metrics_rows: List[dict] = field(default_factory=list)
+    runtime_s: float = 0.0
+
+
+class ResultCache:
+    """Directory of content-addressed optimization results.
+
+    ``flush_every=1`` (the default) persists each :meth:`put`
+    immediately — the crash-safe daemon mode.  Larger values batch
+    writes in memory NPN-style (amortizing file churn for bulk
+    back-fills) until :meth:`flush`; lookups consult the pending buffer
+    first, so batching is invisible to same-process readers.
+    """
+
+    def __init__(self, root, flush_every: int = 1) -> None:
+        self.root = Path(root)
+        self.flush_every = max(1, int(flush_every))
+        self._pending: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._pending or self.path_for(key).is_file()
+
+    def entries(self) -> int:
+        """Number of complete on-disk entries plus unflushed ones."""
+        on_disk = (
+            sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0
+        )
+        unflushed = sum(
+            1 for key in self._pending if not self.path_for(key).is_file()
+        )
+        return on_disk + unflushed
+
+    # ------------------------------------------------------------------ #
+    # Read side (validate on load)
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[CachedResult]:
+        """The validated entry under ``key``, or ``None`` (a miss).
+
+        Validation replays the idiom of the NPN disk cache: format
+        version and key must match, the payload must decode, and the
+        decoded network must replay to the stored result fingerprint.
+        Anything less is counted ``invalid`` and treated as a miss —
+        corruption can cost a re-optimization, never a wrong result.
+        """
+        payload = self._pending.get(key)
+        if payload is None:
+            payload = load_json(self.path_for(key))
+        if payload is None:
+            self.misses += 1
+            return None
+        result = self._validate(key, payload)
+        if result is None:
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _validate(self, key: str, payload) -> Optional[CachedResult]:
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None
+        try:
+            network = decode_network(payload["network"])
+            result = CachedResult(
+                key=key,
+                network=network,
+                network_payload=str(payload["network"]),
+                initial_size=int(payload["initial_size"]),
+                initial_depth=int(payload["initial_depth"]),
+                final_size=int(payload["final_size"]),
+                final_depth=int(payload["final_depth"]),
+                result_fingerprint=str(payload["result_fingerprint"]),
+                flow=str(payload["flow"]),
+                flow_options=dict(payload.get("flow_options") or {}),
+                pass_metrics_rows=list(payload.get("pass_metrics") or ()),
+                runtime_s=float(payload.get("runtime_s", 0.0)),
+            )
+        except Exception:
+            return None
+        if structural_fingerprint(network) != result.result_fingerprint:
+            return None
+        if network.num_gates != result.final_size:
+            return None
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Write side (atomic, optionally batched)
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        key: str,
+        network,
+        initial_size: int,
+        initial_depth: int,
+        flow: str,
+        flow_options: Optional[Dict] = None,
+        pass_metrics: Optional[List[dict]] = None,
+        runtime_s: float = 0.0,
+    ) -> None:
+        """Store one optimized result under its content address."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "network": encode_network(network),
+            "initial_size": int(initial_size),
+            "initial_depth": int(initial_depth),
+            "final_size": network.num_gates,
+            "final_depth": network.depth(),
+            "result_fingerprint": structural_fingerprint(network),
+            "flow": flow,
+            "flow_options": dict(flow_options or {}),
+            "pass_metrics": list(pass_metrics or ()),
+            "runtime_s": float(runtime_s),
+            "stored_at": time.time(),
+        }
+        self._pending[key] = payload
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> int:
+        """Persist pending entries atomically; returns entries written."""
+        written = 0
+        for key, payload in list(self._pending.items()):
+            if atomic_write_json(self.path_for(key), payload):
+                written += 1
+                self.writes += 1
+                del self._pending[key]
+            # else: best effort — a read-only cache root keeps the entry
+            # in the pending buffer, an in-memory cache for this process.
+        return written
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": self.entries(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }

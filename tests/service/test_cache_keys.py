@@ -1,0 +1,196 @@
+"""Property battery for the service cache-key contract.
+
+The contract (see :mod:`repro.service`): the content address
+``result_cache_key(network, flow, options)`` must be *stable* across
+node renamings — structurally identical networks built in different
+orders hit the same entry — and *sound* across everything else: network
+kind, PI arity, PI/PO names and order, complement bits, gate structure
+and sharing, and every flow option must separate keys.  A collision
+here would silently serve one circuit's optimization result for a
+different circuit, so the fuzz lanes are deliberately adversarial.
+"""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.core import Mig
+from repro.core.generation import rebuild_shuffled
+from repro.parallel.corpus import canonical_fingerprint, structural_fingerprint
+from repro.service import canonical_flow_config, result_cache_key
+from repro.verify import check_equivalence
+
+KINDS = ("mig", "aig")
+
+
+# --------------------------------------------------------------------- #
+# Stability: same structure, different ids -> same key
+# --------------------------------------------------------------------- #
+class TestCanonicalStability:
+    def test_shuffled_rebuild_hits_same_key(self, network_forge):
+        """Node ids / construction order never split the cache."""
+        ids_differed = 0
+        for kind in KINDS:
+            for mix in ("aoig", "mixed"):
+                for seed in range(4):
+                    net = network_forge(
+                        kind=kind, gate_mix=mix, seed=seed + 1, num_gates=40
+                    )
+                    shuffled = rebuild_shuffled(net, seed=seed + 101)
+                    assert canonical_fingerprint(shuffled) == canonical_fingerprint(
+                        net
+                    ), (kind, mix, seed)
+                    assert result_cache_key(shuffled, "mighty") == result_cache_key(
+                        net, "mighty"
+                    )
+                    if structural_fingerprint(shuffled) != structural_fingerprint(net):
+                        ids_differed += 1
+        # The property is vacuous if every rebuild kept the original ids.
+        assert ids_differed >= 8
+
+    def test_rebuilt_networks_stay_equivalent(self, network_forge):
+        """The rebuild helper itself must not change logic."""
+        for kind in KINDS:
+            net = network_forge(kind=kind, gate_mix="mixed", seed=5, num_gates=35)
+            shuffled = rebuild_shuffled(net, seed=77)
+            assert check_equivalence(net, shuffled).equivalent
+
+    def test_fingerprint_is_deterministic(self, network_forge):
+        net = network_forge(kind="mig", seed=3, num_gates=30)
+        assert canonical_fingerprint(net) == canonical_fingerprint(net)
+        assert result_cache_key(net, "mighty", {"rounds": 2}) == result_cache_key(
+            net, "mighty", {"rounds": 2}
+        )
+
+
+# --------------------------------------------------------------------- #
+# Soundness: anything semantically different -> different key
+# --------------------------------------------------------------------- #
+def _passthrough(cls, num_pis: int):
+    net = cls()
+    sigs = [net.add_pi(f"x{i}") for i in range(num_pis)]
+    net.add_po(sigs[0], "y0")
+    return net
+
+
+class TestKeySoundness:
+    def test_network_kind_never_collides(self):
+        """A MIG and an AIG with identical shape must key apart."""
+        mig = _passthrough(Mig, 3)
+        aig = _passthrough(Aig, 3)
+        assert canonical_fingerprint(mig) != canonical_fingerprint(aig)
+        assert result_cache_key(mig, "mighty") != result_cache_key(aig, "mighty")
+
+    def test_pi_arity_covered_even_when_unreferenced(self):
+        """An extra dangling PI is a different interface, so a new key."""
+        assert canonical_fingerprint(_passthrough(Mig, 3)) != canonical_fingerprint(
+            _passthrough(Mig, 4)
+        )
+
+    def test_pi_and_po_names_covered(self):
+        a = _passthrough(Mig, 3)
+        b = Mig()
+        sigs = [b.add_pi(f"z{i}") for i in range(3)]
+        b.add_po(sigs[0], "y0")
+        assert canonical_fingerprint(a) != canonical_fingerprint(b)
+        c = Mig()
+        sigs = [c.add_pi(f"x{i}") for i in range(3)]
+        c.add_po(sigs[0], "renamed")
+        assert canonical_fingerprint(a) != canonical_fingerprint(c)
+
+    def test_po_order_and_polarity_covered(self):
+        def build(order_swap: bool, negate_first: bool):
+            net = Mig()
+            a, b, c = (net.add_pi(n) for n in "abc")
+            t = net.maj(a, b, c)
+            first = net.not_(t) if negate_first else t
+            pos = [(first, "y0"), (a, "y1")]
+            if order_swap:
+                pos = [(pos[1][0], "y0"), (pos[0][0], "y1")]
+            for sig, name in pos:
+                net.add_po(sig, name)
+            return net
+
+        base = build(False, False)
+        assert canonical_fingerprint(base) != canonical_fingerprint(build(True, False))
+        assert canonical_fingerprint(base) != canonical_fingerprint(build(False, True))
+
+    def test_sharing_pattern_covered(self):
+        """A shared cone and a structurally different cone key apart."""
+
+        def with_sharing():
+            net = Mig()
+            a, b, c, d = (net.add_pi(n) for n in "abcd")
+            t = net.maj(a, b, c)
+            net.add_po(net.maj(t, c, d), "y0")
+            net.add_po(net.maj(t, a, d), "y1")
+            return net
+
+        def without_sharing():
+            net = Mig()
+            a, b, c, d = (net.add_pi(n) for n in "abcd")
+            net.add_po(net.maj(net.maj(a, b, c), c, d), "y0")
+            net.add_po(net.maj(net.maj(a, b, d), a, d), "y1")
+            return net
+
+        assert canonical_fingerprint(with_sharing()) != canonical_fingerprint(
+            without_sharing()
+        )
+
+    def test_flow_and_options_never_collide(self, network_forge):
+        net = network_forge(kind="mig", seed=2, num_gates=25)
+        keys = {
+            result_cache_key(net, "mighty"),
+            result_cache_key(net, "mighty", {"rounds": 2}),
+            result_cache_key(net, "mighty", {"rounds": 2, "depth_effort": 1}),
+            result_cache_key(net, "mighty", {"boolean_rewrite": False}),
+            result_cache_key(net, "large"),
+            result_cache_key(net, "large", {"max_window_gates": 100}),
+        }
+        assert len(keys) == 6
+
+    def test_collision_fuzz_across_corpus(self, network_forge):
+        """Distinct structures across a varied corpus never share a key."""
+        nets = []
+        for kind in KINDS:
+            for seed in range(5):
+                nets.append(
+                    network_forge(
+                        kind=kind,
+                        gate_mix=("aoig", "maj", "mixed")[seed % 3],
+                        num_pis=4 + seed % 3,
+                        num_gates=15 + 7 * seed,
+                        seed=seed + 1,
+                    )
+                )
+        by_key = {}
+        for net in nets:
+            for options in (None, {"rounds": 2}):
+                key = result_cache_key(net, "mighty", options)
+                if key in by_key:
+                    other_net, other_options = by_key[key]
+                    assert other_options == options
+                    assert canonical_fingerprint(other_net) == canonical_fingerprint(
+                        net
+                    ), "cache-key collision between distinct structures"
+                by_key[key] = (net, options)
+        assert len(by_key) == len(nets) * 2
+
+
+# --------------------------------------------------------------------- #
+# Flow-config canonicalization
+# --------------------------------------------------------------------- #
+class TestFlowConfig:
+    def test_dict_order_is_normalized(self):
+        assert canonical_flow_config(
+            "mighty", {"rounds": 2, "depth_effort": 1}
+        ) == canonical_flow_config("mighty", {"depth_effort": 1, "rounds": 2})
+
+    def test_value_and_flow_sensitivity(self):
+        assert canonical_flow_config("mighty", {"rounds": 1}) != canonical_flow_config(
+            "mighty", {"rounds": 2}
+        )
+        assert canonical_flow_config("mighty") != canonical_flow_config("resyn2")
+
+    def test_non_json_options_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_flow_config("mighty", {"hook": object()})

@@ -1,0 +1,176 @@
+"""Crash-recovery battery for the optimization daemon.
+
+A "crash" here is a persisted-state snapshot: the daemon writes every
+transition through :class:`repro.parallel.corpus.RowChannel`, so killing
+it at any point is equivalent to simply *not* making the writes that
+would have come next.  Each test arranges the on-disk state a kill
+would leave behind, constructs a fresh :class:`OptimizationService`
+over the same directory, and asserts the recovery contract: queued
+jobs survive, in-flight jobs re-queue, ``done``-without-result jobs
+re-queue, completed rows never re-run, and torn files never crash the
+daemon.
+"""
+
+import time
+
+import pytest
+
+from repro.service import JobStatus, OptimizationService, result_cache_key
+from repro.service.daemon import JOBS_SUITE, RESULTS_SUITE
+
+
+def _corpus(forge, n=2, num_gates=12):
+    return [
+        forge(kind="mig", seed=seed + 1, num_gates=num_gates, num_pis=4)
+        for seed in range(n)
+    ]
+
+
+class TestRestartRecovery:
+    def test_queued_jobs_survive_restart(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        job_ids = service.submit_many(_corpus(network_forge, 2))
+        del service  # daemon killed before any drain cycle
+
+        revived = OptimizationService(tmp_path)
+        assert [job.job_id for job in revived.queued_jobs()] == job_ids
+        summary = revived.run_pending(workers=1)
+        assert summary["done"] == 2 and summary["failed"] == 0
+        for job_id in job_ids:
+            assert revived.result(job_id).status == JobStatus.DONE
+
+    def test_running_jobs_requeued_on_restart(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        job_ids = service.submit_many(_corpus(network_forge, 2))
+        # Simulate a kill mid-drain: the first job was marked running
+        # (attempts bumped) but its worker never reported back.
+        job = service.job(job_ids[0])
+        job.status = JobStatus.RUNNING
+        job.started_at = time.time()
+        job.attempts = 1
+        service.rows.write(JOBS_SUITE, job.job_id, job.to_row())
+        del service
+
+        revived = OptimizationService(tmp_path)
+        assert revived.recovered_running == 1
+        recovered = revived.job(job_ids[0])
+        assert recovered.status == JobStatus.QUEUED
+        assert recovered.started_at is None
+        assert recovered.attempts == 1  # the lost run stays on the record
+        summary = revived.run_pending(workers=1)
+        assert summary["done"] == 2
+        assert revived.job(job_ids[0]).attempts == 2
+
+    def test_done_without_result_is_requeued(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        job_ids = service.submit_many(_corpus(network_forge, 2))
+        assert service.run_pending(workers=1)["done"] == 2
+        baseline = service.result(job_ids[0]).result_fingerprint
+        # Simulate the torn half of a crash: the job row says done but
+        # the result row never landed.
+        service.rows.delete(RESULTS_SUITE, job_ids[0])
+        del service
+
+        revived = OptimizationService(tmp_path)
+        assert revived.recovered_missing_result == 1
+        assert revived.job(job_ids[0]).status == JobStatus.QUEUED
+        assert revived.job(job_ids[1]).status == JobStatus.DONE
+        summary = revived.run_pending(workers=1)
+        # Only the unsubstantiated job re-runs; the completed row stands.
+        assert summary["ran"] == 1 and summary["done"] == 1
+        assert revived.optimizer_invocations == 1
+        assert revived.result(job_ids[0]).result_fingerprint == baseline
+
+    def test_completed_rows_never_rerun(self, tmp_path, monkeypatch, network_forge):
+        corpus = _corpus(network_forge, 2)
+        service = OptimizationService(tmp_path)
+        job_ids = service.submit_many(corpus)
+        assert service.run_pending(workers=1)["done"] == 2
+        fingerprints = [service.result(j).result_fingerprint for j in job_ids]
+        del service
+
+        # From here on any optimization pass is a contract violation.
+        def _boom(*args, **kwargs):
+            raise AssertionError("optimizer invoked for completed/cached work")
+
+        monkeypatch.setattr("repro.flows.mighty.mighty_optimize", _boom)
+
+        revived = OptimizationService(tmp_path)
+        assert revived.run_pending(workers=1)["ran"] == 0
+        # Resubmitting the same circuits completes at submit time from
+        # the persistent result cache.
+        new_ids = revived.submit_many(corpus)
+        assert not revived.queued_jobs()
+        for new_id, fingerprint in zip(new_ids, fingerprints):
+            result = revived.result(new_id)
+            assert result.cached is True
+            assert result.result_fingerprint == fingerprint
+        assert revived.optimizer_invocations == 0
+
+
+class TestTornFiles:
+    def test_torn_rows_are_tolerated(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        job_id = service.submit(_corpus(network_forge, 1)[0])
+        jobs_dir = service.rows._suite_dir(JOBS_SUITE)
+        results_dir = service.rows._suite_dir(RESULTS_SUITE)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (jobs_dir / "torn.json").write_text('{"job_id": "jXXXXXX", "st')
+        (jobs_dir / "empty.json").write_text("")
+        (jobs_dir / "foreign.json").write_text("[1, 2, 3]")
+        (results_dir / "torn.json").write_text('{"job_id":')
+        del service
+
+        revived = OptimizationService(tmp_path)
+        status = revived.status()
+        assert status["jobs"] == 1  # torn rows are not jobs
+        assert revived.run_pending(workers=1)["done"] == 1
+        assert revived.result(job_id).status == JobStatus.DONE
+
+    def test_torn_cache_entry_degrades_to_miss(self, tmp_path, network_forge):
+        network = _corpus(network_forge, 1)[0]
+        service = OptimizationService(tmp_path)
+        key = result_cache_key(network, "mighty")
+        cache_path = service.cache.path_for(key)
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text('{"key": "' + key)  # torn mid-write
+        job_id = service.submit(network, flow="mighty")
+        # The torn entry must read as a miss, so the job really runs.
+        assert service.job(job_id).status == JobStatus.QUEUED
+        assert service.run_pending(workers=1)["done"] == 1
+        assert service.optimizer_invocations == 1
+        # ... and the entry is rewritten whole: resubmission now hits.
+        resubmitted = service.submit(network, flow="mighty")
+        assert service.result(resubmitted).cached is True
+
+
+class TestLifecycleEdges:
+    def test_expired_jobs_never_run(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        job_id = service.submit(_corpus(network_forge, 1)[0], deadline_s=1e-6)
+        time.sleep(0.01)
+        summary = service.run_pending(workers=1)
+        assert summary["expired"] == 1 and summary["ran"] == 0
+        job = service.job(job_id)
+        assert job.status == JobStatus.EXPIRED
+        assert "deadline" in job.error
+        with pytest.raises(KeyError):
+            service.result(job_id)
+        assert service.optimizer_invocations == 0
+
+    def test_failed_job_does_not_poison_the_drain(self, tmp_path, network_forge):
+        service = OptimizationService(tmp_path)
+        good, poisoned = _corpus(network_forge, 2)
+        good_id = service.submit(good, flow="mighty")
+        bad_id = service.submit(
+            poisoned, flow="mighty", flow_options={"rounds": "boom"}
+        )
+        summary = service.run_pending(workers=1)
+        assert summary["done"] == 1 and summary["failed"] == 1
+        assert service.result(good_id).status == JobStatus.DONE
+        failed = service.result(bad_id)
+        assert failed.status == JobStatus.FAILED
+        assert failed.error and failed.network is None
+        # Failures are never cached: resubmitting re-queues for real.
+        retry_id = service.submit(poisoned, flow="mighty", flow_options={"rounds": "boom"})
+        assert service.job(retry_id).status == JobStatus.QUEUED

@@ -1,0 +1,132 @@
+"""Service-vs-batch determinism battery.
+
+The contract under test (see :mod:`repro.service`): routing a corpus
+through the daemon — submit, drain at any worker count, read results
+back through the persistence layer — returns networks **bit-identical**
+(node ids, fanins, primary outputs, hence structural fingerprints) to
+calling :func:`repro.flows.optimize_many` directly, and the cached
+resubmission path returns those same bits without any optimization
+pass running.
+"""
+
+import pytest
+
+from repro.core.generation import rebuild_shuffled
+from repro.flows import (
+    optimize_large,
+    optimize_many,
+    service_optimize_large,
+    service_optimize_many,
+)
+from repro.parallel.corpus import structural_fingerprint
+from repro.service import JobStatus, OptimizationService
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _corpus(forge):
+    """A small mixed MIG/AIG corpus with uneven sizes (exercises LPT)."""
+    return [
+        forge(kind="mig", gate_mix="aoig", seed=11, num_gates=30, num_pis=5),
+        forge(kind="aig", gate_mix="aoig", seed=12, num_gates=35, num_pis=5),
+        forge(kind="mig", gate_mix="mixed", seed=13, num_gates=22, num_pis=4),
+        forge(kind="aig", gate_mix="mixed", seed=14, num_gates=27, num_pis=6),
+    ]
+
+
+def _assert_items_bit_identical(items, reference_items):
+    assert len(items) == len(reference_items)
+    for item, reference in zip(items, reference_items):
+        assert structural_fingerprint(item.network) == structural_fingerprint(
+            reference.network
+        ), item.name
+        assert item.initial_size == reference.initial_size
+        assert item.final_size == reference.final_size
+        assert item.initial_depth == reference.initial_depth
+        assert item.final_depth == reference.final_depth
+
+
+class TestServiceDeterminism:
+    def test_bit_identical_to_batch_at_every_worker_count(
+        self, tmp_path, network_forge
+    ):
+        corpus = _corpus(network_forge)
+        direct = optimize_many(corpus, workers=1)
+        for workers in WORKER_COUNTS:
+            service = OptimizationService(tmp_path / f"w{workers}")
+            report = service_optimize_many(corpus, workers=workers, service=service)
+            _assert_items_bit_identical(report.items, direct.items)
+            # Everything really ran (fresh cache): no +cached items.
+            assert all(not item.flow.endswith("+cached") for item in report.items)
+            assert service.optimizer_invocations == len(corpus)
+
+    def test_cached_resubmission_is_bit_identical_and_pass_free(
+        self, tmp_path, network_forge, monkeypatch
+    ):
+        corpus = _corpus(network_forge)
+        direct = optimize_many(corpus, workers=1)
+        service = OptimizationService(tmp_path)
+        first = service_optimize_many(corpus, workers=2, service=service)
+        _assert_items_bit_identical(first.items, direct.items)
+
+        # Any further optimization pass is a contract violation.
+        def _boom(*args, **kwargs):
+            raise AssertionError("optimizer invoked on the cached path")
+
+        monkeypatch.setattr("repro.flows.mighty.mighty_optimize", _boom)
+        monkeypatch.setattr("repro.aig.resyn.resyn2", _boom)
+
+        invocations = service.optimizer_invocations
+        again = service_optimize_many(corpus, workers=1, service=service)
+        _assert_items_bit_identical(again.items, direct.items)
+        assert all(item.flow.endswith("+cached") for item in again.items)
+        assert service.optimizer_invocations == invocations
+
+    def test_shuffled_rebuilds_hit_the_cache(self, tmp_path, network_forge):
+        """Same structure under fresh node ids resolves from the cache."""
+        corpus = _corpus(network_forge)
+        service = OptimizationService(tmp_path)
+        job_ids = service.submit_many(corpus)
+        service.run_pending(workers=2)
+        fingerprints = [service.result(j).result_fingerprint for j in job_ids]
+
+        shuffled = [rebuild_shuffled(net, seed=31 + i) for i, net in enumerate(corpus)]
+        new_ids = service.submit_many(shuffled)
+        assert not service.queued_jobs()  # all completed at submit time
+        for new_id, fingerprint in zip(new_ids, fingerprints):
+            result = service.result(new_id)
+            assert result.status == JobStatus.DONE and result.cached is True
+            # Bit-identical to the *original* run, ids and all: the cache
+            # returns the stored network, not a re-derived one.
+            assert result.result_fingerprint == fingerprint
+            assert structural_fingerprint(result.network) == fingerprint
+
+    def test_service_optimize_large_parity(self, tmp_path, network_forge):
+        network = network_forge(
+            kind="mig", gate_mix="mixed", seed=21, num_gates=60, num_pis=6
+        )
+        direct = optimize_large(network, workers=1, max_window_gates=25)
+        service = OptimizationService(tmp_path)
+        for workers in (1, 2):
+            result = service_optimize_large(
+                network, workers=workers, service=service, max_window_gates=25
+            )
+            assert structural_fingerprint(result.network) == structural_fingerprint(
+                direct.network
+            )
+            assert result.final_size == direct.final_size
+            assert result.final_depth == direct.final_depth
+        # One real run, one cache hit (identical submit, identical key).
+        assert service.optimizer_invocations == 1
+
+    def test_failed_jobs_surface_as_errors(self, tmp_path, network_forge):
+        """The batch wrapper never silently drops a corpus item."""
+        corpus = _corpus(network_forge)[:1]
+        with pytest.raises(RuntimeError, match="failed"):
+            service_optimize_many(
+                corpus,
+                workers=1,
+                flow="mighty",
+                state_dir=tmp_path,
+                rounds="boom",
+            )
