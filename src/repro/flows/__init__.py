@@ -38,7 +38,12 @@ from .batch import (
     service_optimize_many,
 )
 from .mighty import MightyResult, mighty_optimize, mighty_pipeline
-from .partitioned import PartitionedRewrite, WindowVerificationError, partitioned_rewrite
+from .partitioned import (
+    PartitionedRewrite,
+    WindowVerificationError,
+    partitioned_rewrite,
+    sweep_offset,
+)
 from .optimize import (
     OptimizationComparison,
     compare_optimization,
@@ -104,6 +109,7 @@ __all__ = [
     "PartitionedRewrite",
     "WindowVerificationError",
     "partitioned_rewrite",
+    "sweep_offset",
     # optimization experiment
     "compare_optimization",
     "run_optimization_experiment",

@@ -308,6 +308,13 @@ class LargeResult:
                     "window_gain",
                     "certified_windows",
                     "stitch",
+                    "pipeline",
+                    "sweeps_run",
+                    "converged",
+                    "extract_wall_s",
+                    "stitch_wall_s",
+                    "parent_idle_s",
+                    "commit_queue_peak",
                 )
                 if key in self.details
             }
@@ -324,6 +331,9 @@ def optimize_large(
     flow: str = "auto",
     flow_kwargs: Optional[dict] = None,
     certify_options: Optional[dict] = None,
+    sweeps: int = 1,
+    pipeline: bool = True,
+    lookahead: Optional[int] = None,
 ) -> LargeResult:
     """Optimize one large network by partition-parallel windowed rewriting.
 
@@ -332,9 +342,19 @@ def optimize_large(
     processes (with per-window SAT certification when ``certify``;
     ``certify_options`` sizes the per-window equivalence budgets, and an
     uncertified window rejects the run), and the results are stitched
-    back serially — see :mod:`repro.flows.partitioned` for the
+    back in window order — see :mod:`repro.flows.partitioned` for the
     determinism contract (results are bit-identical at any worker count
     for a fixed partition spec).
+
+    ``pipeline`` (default on) streams extract → optimize → stitch with
+    an in-order commit queue instead of barriering between the phases;
+    ``lookahead`` bounds the in-flight windows of the streamed path.
+    ``sweeps`` > 1 re-runs the decomposition with deterministically
+    shifted window boundaries (gains trapped on one sweep's frontiers
+    become interior to the next) and stops early once a sweep improves
+    nothing.  All three knobs leave the result's structure invariant
+    *except* ``sweeps``, which changes what is computed and therefore
+    participates in the service result-cache key.
 
     The input network is never mutated: it crosses into a private copy
     by pickling (preserving node ids exactly, like the worker boundary
@@ -345,7 +365,7 @@ def optimize_large(
     from .partitioned import PartitionedRewrite
 
     work = pickle.loads(pickle.dumps(network))
-    pipeline = Pipeline(
+    flow_pipeline = Pipeline(
         [
             PartitionedRewrite(
                 max_window_gates=max_window_gates,
@@ -355,11 +375,14 @@ def optimize_large(
                 flow=flow,
                 flow_kwargs=flow_kwargs,
                 certify_options=certify_options,
+                sweeps=sweeps,
+                pipeline=pipeline,
+                lookahead=lookahead,
             )
         ],
         name="optimize_large",
     )
-    result = pipeline.run(work)
+    result = flow_pipeline.run(work)
     details = result.passes[0].details
     return LargeResult(
         name=getattr(network, "name", "network"),
@@ -469,7 +492,11 @@ def service_optimize_large(
     One partition-parallel job: the window fan-out runs *inside* the
     worker (nested pools degrade to in-process there, so the daemon's
     pool is never oversubscribed), results and the cache behave exactly
-    like :func:`service_optimize_many`.
+    like :func:`service_optimize_many`.  Every :func:`optimize_large`
+    knob forwards through ``large_kwargs`` into the job's flow options —
+    including ``sweeps``/``pipeline``/``lookahead`` — and therefore into
+    the content-addressed result-cache key, so a ``sweeps=2`` request
+    never resolves from a ``sweeps=1`` cache entry.
     """
     import tempfile
 

@@ -52,10 +52,21 @@ class PartitionSpec:
     the spec is part of the determinism contract of
     :mod:`repro.parallel` (stitched results are compared across worker
     counts *for a fixed spec*).
+
+    ``offset`` phase-shifts the window boundaries: the first chunk is
+    shortened to ``max_window_gates - (offset % max_window_gates)``
+    gates, so every later boundary moves by the same amount.  Gains
+    trapped on one decomposition's frontiers (a window cannot rewrite
+    across its own pins) become interior nodes of the shifted
+    decomposition — the re-partitioning knob behind
+    :func:`repro.flows.partitioned.partitioned_rewrite`'s multi-sweep
+    mode.  ``offset % max_window_gates == 0`` reproduces the unshifted
+    partition exactly.
     """
 
     max_window_gates: int = 400
     strategy: str = "topo"
+    offset: int = 0
 
     def __post_init__(self) -> None:
         if self.max_window_gates < 1:
@@ -66,6 +77,8 @@ class PartitionSpec:
             raise ValueError(
                 f"unknown strategy {self.strategy!r} (expected one of {STRATEGIES})"
             )
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
 
 
 @dataclass
@@ -90,11 +103,21 @@ class Window:
 
 
 def _chunk_gates(net, spec: PartitionSpec) -> List[List[int]]:
-    """Group the PO-reachable gates into ordered, bounded chunks."""
+    """Group the PO-reachable gates into ordered, bounded chunks.
+
+    The boundary phase: the *first* chunk's capacity is
+    ``bound - (offset % bound)`` and every later chunk's is ``bound``,
+    which shifts all downstream boundaries by the same deterministic
+    amount without ever exceeding the gate budget.
+    """
     order = net.topological_order()
     bound = spec.max_window_gates
+    first = bound - (spec.offset % bound)
     if spec.strategy == "topo":
-        return [order[i : i + bound] for i in range(0, len(order), bound)]
+        cuts = list(range(first, len(order), bound))
+        starts = [0] + cuts
+        ends = cuts + [len(order)]
+        return [order[s:e] for s, e in zip(starts, ends) if s < e]
 
     # "levels": accumulate whole level bands up to the budget; split a
     # single oversized level into runs (safe: no intra-level fanins).
@@ -104,17 +127,28 @@ def _chunk_gates(net, spec: PartitionSpec) -> List[List[int]]:
         bands.setdefault(level[gate], []).append(gate)
     chunks: List[List[int]] = []
     current: List[int] = []
+    cap = first  # shrinks only the first chunk; bound afterwards
+
+    def _close() -> None:
+        nonlocal current, cap
+        chunks.append(current)
+        current = []
+        cap = bound
+
     for lvl in sorted(bands):
         band = bands[lvl]
-        if len(band) > bound:
+        if len(band) > cap:
             if current:
-                chunks.append(current)
-                current = []
-            chunks.extend(band[i : i + bound] for i in range(0, len(band), bound))
+                _close()
+            position = 0
+            while position < len(band):
+                run = band[position : position + cap]
+                position += len(run)
+                current = run
+                _close()
             continue
-        if current and len(current) + len(band) > bound:
-            chunks.append(current)
-            current = []
+        if current and len(current) + len(band) > cap:
+            _close()
         current.extend(band)
     if current:
         chunks.append(current)

@@ -52,7 +52,7 @@ changes what any live node computes) and reports it in the stats.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.signal import CONST_NODE, make_signal, negate_if, node_of
 from .partition import Window
@@ -95,7 +95,8 @@ def extract_window(net, window: Window):
 
 
 def stitch_window(
-    net, window: Window, optimized, repl: Dict[int, int]
+    net, window: Window, optimized, repl: Dict[int, int],
+    stats: Optional[StitchStats] = None,
 ) -> StitchStats:
     """Rebuild ``optimized`` (a window sub-network) into ``net``.
 
@@ -103,6 +104,18 @@ def stitch_window(
     signals; this call extends it with ``window``'s outputs.  Returns
     the stitch outcome; the pinned nodes recorded in it stay protected
     until :func:`release_pins`.
+
+    Pin bookkeeping across failures: pass a caller-owned ``stats``
+    object and every pin is recorded on it *as it is taken* — if this
+    call raises partway through (interface mismatch aside, e.g. a kernel
+    invariant tripping mid-rebuild), the pins taken so far are still on
+    the caller's ledger and :func:`release_pins` in an error handler
+    drops them.  The overlapped (pipelined) stitch path of
+    :mod:`repro.flows.partitioned` relies on this: its ``finally`` block
+    must be able to unwind a half-committed stitch without leaking
+    refcounts on the parent network.  With ``stats=None`` a fresh object
+    is created and returned (the pre-existing behavior, safe only when
+    the caller treats a raise as fatal to the whole network).
     """
     if optimized.num_pis != len(window.inputs) or optimized.num_pos != len(
         window.outputs
@@ -112,7 +125,8 @@ def stitch_window(
             f"{optimized.num_pis}/{optimized.num_pos} does not match the "
             f"window's {len(window.inputs)}/{len(window.outputs)} pins"
         )
-    stats = StitchStats()
+    if stats is None:
+        stats = StitchStats()
     mapping: Dict[int, int] = {CONST_NODE: make_signal(CONST_NODE)}
     for pin, pi_node in zip(window.inputs, optimized.pi_nodes()):
         # A gate pin is an output of an earlier window, so its current

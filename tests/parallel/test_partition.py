@@ -135,6 +135,80 @@ class TestPartition:
             PartitionSpec(max_window_gates=0)
         with pytest.raises(ValueError):
             PartitionSpec(strategy="bogus")
+        with pytest.raises(ValueError):
+            PartitionSpec(offset=-1)
+
+
+# --------------------------------------------------------------------- #
+# Boundary-shifted partitions (multi-sweep re-partitioning)
+# --------------------------------------------------------------------- #
+class TestOffsets:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("offset", (0, 13, 25, 39))
+    def test_offset_keeps_coverage_and_bound(
+        self, network_forge, strategy, offset
+    ):
+        net = _forged(network_forge, "mig")
+        net.cleanup()
+        bound = 40
+        windows = partition_network(
+            net,
+            PartitionSpec(max_window_gates=bound, strategy=strategy, offset=offset),
+        )
+        seen = [gate for window in windows for gate in window.gates]
+        assert sorted(seen) == sorted(net.topological_order())
+        assert len(seen) == len(set(seen))
+        assert all(window.num_gates <= bound for window in windows)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_offset_multiple_of_bound_is_identity(self, network_forge, strategy):
+        net = _forged(network_forge, "mig")
+        net.cleanup()
+        base = partition_network(
+            net, PartitionSpec(max_window_gates=40, strategy=strategy)
+        )
+        shifted = partition_network(
+            net,
+            PartitionSpec(max_window_gates=40, strategy=strategy, offset=80),
+        )
+        assert [w.gates for w in base] == [w.gates for w in shifted]
+
+    def test_offset_moves_boundaries(self, network_forge):
+        """The whole point of the knob: frontier gates of the unshifted
+        decomposition become interior gates of the shifted one."""
+        net = _forged(network_forge, "mig")
+        net.cleanup()
+        bound = 40
+        base = partition_network(net, PartitionSpec(max_window_gates=bound))
+        shifted = partition_network(
+            net, PartitionSpec(max_window_gates=bound, offset=13)
+        )
+        base_last = {window.gates[-1] for window in base}
+        shifted_last = {window.gates[-1] for window in shifted}
+        # The final boundary (end of the order) coincides; earlier ones move.
+        assert base_last != shifted_last
+        assert shifted[0].num_gates == bound - 13
+
+    def test_offset_partition_is_deterministic(self, network_forge):
+        net = _forged(network_forge, "mig")
+        net.cleanup()
+        spec = PartitionSpec(max_window_gates=30, strategy="levels", offset=17)
+        first = partition_network(net, spec)
+        second = partition_network(net, spec)
+        assert [(w.gates, w.inputs, w.outputs) for w in first] == [
+            (w.gates, w.inputs, w.outputs) for w in second
+        ]
+
+    def test_sweep_offset_rule(self):
+        from repro.flows.partitioned import sweep_offset
+
+        assert sweep_offset(0, 400) == 0
+        offsets = [sweep_offset(k, 400) for k in range(4)]
+        # Consecutive sweeps land on distinct, in-range phases.
+        assert all(0 <= o < 400 for o in offsets)
+        assert len(set(offsets[:3])) == 3
+        # Degenerate bound cannot express a shift.
+        assert sweep_offset(2, 1) == 0
 
 
 # --------------------------------------------------------------------- #

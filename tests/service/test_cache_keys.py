@@ -177,6 +177,45 @@ class TestKeySoundness:
 
 
 # --------------------------------------------------------------------- #
+# Pipeline / multi-sweep knobs participate in the key
+# --------------------------------------------------------------------- #
+class TestLargeFlowKnobKeys:
+    def test_sweeps_and_pipeline_knobs_split_keys(self, network_forge):
+        """A ``sweeps=2`` request must never resolve from a ``sweeps=1``
+        cache entry (different computation), and the pipeline/lookahead
+        knobs key apart too — the key is syntactic over the flow config."""
+        net = network_forge(kind="mig", seed=2, num_gates=25)
+        keys = {
+            result_cache_key(net, "large"),
+            result_cache_key(net, "large", {"sweeps": 1}),
+            result_cache_key(net, "large", {"sweeps": 2}),
+            result_cache_key(net, "large", {"sweeps": 2, "pipeline": False}),
+            result_cache_key(net, "large", {"pipeline": False}),
+            result_cache_key(net, "large", {"lookahead": 4}),
+        }
+        assert len(keys) == 6
+
+    def test_submit_forwards_sweep_knobs_into_cache_key(
+        self, network_forge, tmp_path
+    ):
+        """The service path: ``service_optimize_large(..., sweeps=N)``
+        lands ``sweeps`` in the job's flow options, and the stored
+        ``cache_key`` is exactly ``result_cache_key`` over them."""
+        from repro.service import OptimizationService
+
+        net = network_forge(kind="mig", seed=2, num_gates=25)
+        service = OptimizationService(tmp_path / "svc")
+        options = {"sweeps": 2, "pipeline": False, "max_window_gates": 50}
+        job_id = service.submit(net, flow="large", flow_options=options)
+        job = service.job(job_id)
+        assert job.flow_options == options
+        assert job.cache_key == result_cache_key(net, "large", options)
+        assert job.cache_key != result_cache_key(
+            net, "large", {**options, "sweeps": 1}
+        )
+
+
+# --------------------------------------------------------------------- #
 # Flow-config canonicalization
 # --------------------------------------------------------------------- #
 class TestFlowConfig:
